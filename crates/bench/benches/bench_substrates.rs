@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the substrate crates: top-k selection
+//! (heap vs full sort ablation), knapsack solvers and R-tree queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use stratrec_geometry::{Aabb3, Point3, RTree};
+use stratrec_optim::knapsack::{self, KnapsackItem};
+use stratrec_optim::topk;
+
+fn bench_topk_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>()).collect();
+    let mut group = c.benchmark_group("topk_heap_vs_sort");
+    group.sample_size(20);
+    for &k in &[10_usize, 100] {
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, &k| {
+            b.iter(|| black_box(topk::k_smallest_indices(black_box(&values), k)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort", k), &k, |b, &k| {
+            b.iter(|| black_box(topk::k_smallest_indices_by_sort(black_box(&values), k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let items: Vec<KnapsackItem> = (0..1_000)
+        .map(|_| KnapsackItem::new(rng.gen_range(0.01..0.2), rng.gen_range(0.1..1.0)))
+        .collect();
+    let mut group = c.benchmark_group("knapsack_greedy");
+    group.sample_size(30);
+    group.bench_function("half_approx_1000_items", |b| {
+        b.iter(|| black_box(knapsack::solve_greedy_half_approx(black_box(&items), 5.0)));
+    });
+    group.bench_function("density_1000_items", |b| {
+        b.iter(|| black_box(knapsack::solve_greedy_density(black_box(&items), 5.0)));
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<Point3> = (0..50_000)
+        .map(|_| Point3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(20);
+    group.bench_function("bulk_load_50k", |b| {
+        b.iter(|| black_box(RTree::bulk_load(black_box(&points))));
+    });
+    let tree = RTree::bulk_load(&points);
+    let query = Aabb3::anchored_at_origin(Point3::new(0.3, 0.3, 0.3));
+    group.bench_function("count_in_box_50k", |b| {
+        b.iter(|| black_box(tree.count_in_box(black_box(&query))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_ablation, bench_knapsack, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 11: worker-availability estimation across deployment windows.
+
+use stratrec_bench::realdata::figure11;
+use stratrec_bench::report::{fmt3, render_table};
+use stratrec_core::model::TaskType;
+
+fn main() {
+    for task in [TaskType::SentenceTranslation, TaskType::TextCreation] {
+        let rows: Vec<Vec<String>> = figure11(task, 2020)
+            .into_iter()
+            .map(|r| vec![r.window, r.strategy, fmt3(r.mean), fmt3(r.std_err)])
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 11 — worker availability ({})", task.label()),
+                &["Window", "Strategy", "Mean availability", "Std err"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 12: relationship between deployment parameters and worker
+//! availability (one panel per task type × strategy).
+
+use stratrec_bench::realdata::table6;
+use stratrec_bench::report::{fmt3, render_table};
+
+fn main() {
+    for report in table6(2020) {
+        // Average the observed parameters per availability level, mirroring
+        // the per-level points of Figure 12.
+        let mut levels: Vec<f64> = report.observations.iter().map(|(w, _)| *w).collect();
+        levels.sort_by(f64::total_cmp);
+        levels.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let rows: Vec<Vec<String>> = levels
+            .iter()
+            .map(|&level| {
+                let at_level: Vec<_> = report
+                    .observations
+                    .iter()
+                    .filter(|(w, _)| (*w - level).abs() < 1e-9)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let n = at_level.len() as f64;
+                let mean = |f: fn(&stratrec_core::model::DeploymentParameters) -> f64| {
+                    at_level.iter().map(f).sum::<f64>() / n
+                };
+                vec![
+                    fmt3(level),
+                    fmt3(mean(|p| p.quality)),
+                    fmt3(mean(|p| p.cost)),
+                    fmt3(mean(|p| p.latency)),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Figure 12 — {} {}",
+                    report.task_type.label(),
+                    report.strategy_name
+                ),
+                &["Worker availability", "Quality", "Cost", "Latency"],
+                &rows
+            )
+        );
+    }
+}

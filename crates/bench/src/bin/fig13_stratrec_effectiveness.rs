@@ -1,0 +1,51 @@
+//! Figure 13: average quality, cost and latency of deployments with and
+//! without StratRec, with paired significance tests.
+
+use stratrec_bench::realdata::figure13;
+use stratrec_bench::report::{fmt3, render_table};
+use stratrec_platform::abtest::AbTestConfig;
+
+fn main() {
+    let results = figure13(&AbTestConfig::default());
+    for result in results {
+        let rows = vec![
+            vec![
+                "With StratRec".to_string(),
+                fmt3(result.with_stratrec.quality.mean),
+                fmt3(result.with_stratrec.cost.mean),
+                fmt3(result.with_stratrec.latency.mean),
+                fmt3(result.with_stratrec.mean_edits),
+            ],
+            vec![
+                "Without StratRec".to_string(),
+                fmt3(result.without_stratrec.quality.mean),
+                fmt3(result.without_stratrec.cost.mean),
+                fmt3(result.without_stratrec.latency.mean),
+                fmt3(result.without_stratrec.mean_edits),
+            ],
+        ];
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 13 — {}", result.task_type.label()),
+                &["Arm", "Quality", "Cost", "Latency", "Mean edits"],
+                &rows
+            )
+        );
+        if let Some(test) = result.quality_test {
+            println!(
+                "  quality difference: +{:.3} (p = {:.4}, significant at 5%: {})",
+                test.mean_difference,
+                test.p_value,
+                test.significant_at(0.05)
+            );
+        }
+        if let Some(test) = result.latency_test {
+            println!(
+                "  latency difference: {:+.3} (p = {:.4})",
+                test.mean_difference, test.p_value
+            );
+        }
+        println!();
+    }
+}

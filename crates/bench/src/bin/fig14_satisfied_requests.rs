@@ -1,0 +1,51 @@
+//! Figure 14: percentage of satisfied requests before invoking ADPaR, varying
+//! k, m, |S| and W for uniform and normal strategy distributions.
+//!
+//! Pass `--paper-scale` to run the full |S| = 10 000 defaults (slower);
+//! otherwise a scaled-down default keeps the run short.
+
+use stratrec_bench::report::{fmt3, render_table};
+use stratrec_bench::satisfaction::{sweep, SweepVariable};
+use stratrec_workload::scenario::{BatchScenario, ParameterDistribution};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let base = if paper_scale {
+        BatchScenario::default()
+    } else {
+        BatchScenario {
+            strategy_count: 1_000,
+            ..BatchScenario::default()
+        }
+    };
+    let runs = if paper_scale { 10 } else { 5 };
+
+    for variable in [
+        SweepVariable::K,
+        SweepVariable::BatchSize,
+        SweepVariable::StrategyCount,
+        SweepVariable::Availability,
+    ] {
+        let mut rows = Vec::new();
+        for value in variable.paper_values() {
+            let mut row = vec![format!("{value}")];
+            for distribution in ParameterDistribution::ALL {
+                let points = sweep(variable, distribution, base, runs);
+                let point = points
+                    .iter()
+                    .find(|p| (p.value - value).abs() < 1e-9)
+                    .expect("value swept");
+                row.push(fmt3(point.satisfied_fraction));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 14 — % satisfied requests, varying {}", variable.label()),
+                &[variable.label(), "Uniform", "Normal"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 16: aggregated pay-off and empirical approximation factor of
+//! BatchStrat against brute force, varying k, m and |S|.
+
+use stratrec_bench::objective::{run_panel, Panel};
+use stratrec_bench::report::{fmt3, render_table};
+use stratrec_core::batch::BatchObjective;
+use stratrec_workload::scenario::BatchScenario;
+
+fn main() {
+    let base = BatchScenario::brute_force_defaults();
+    for panel in [Panel::K, Panel::BatchSize, Panel::StrategyCount] {
+        let rows: Vec<Vec<String>> = run_panel(BatchObjective::Payoff, panel, base, 10)
+            .into_iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.value),
+                    fmt3(p.brute_force),
+                    fmt3(p.batchstrat),
+                    fmt3(p.baseline_g),
+                    fmt3(p.approximation_factor),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Figure 16 — aggregated pay-off, varying {}", panel.label()),
+                &[
+                    panel.label(),
+                    "BruteForce",
+                    "BatchStrat",
+                    "BaselineG",
+                    "Approx. factor"
+                ],
+                &rows
+            )
+        );
+    }
+}

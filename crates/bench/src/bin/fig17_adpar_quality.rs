@@ -1,0 +1,52 @@
+//! Figure 17: Euclidean distance between the original and alternative
+//! deployment parameters for ADPaR-Exact, Baseline2, Baseline3 and (on the
+//! reduced grids) ADPaRB.
+
+use stratrec_bench::adpar_quality::{run_panel, AdparPanel};
+use stratrec_bench::report::{fmt3, render_table};
+use stratrec_workload::scenario::AdparScenario;
+
+fn main() {
+    let configurations = [
+        ("without BruteForce", AdparScenario::default(), false),
+        (
+            "with BruteForce",
+            AdparScenario::brute_force_defaults(),
+            true,
+        ),
+    ];
+    for panel in [AdparPanel::StrategyCount, AdparPanel::K] {
+        for (label, base, with_brute) in configurations {
+            let rows: Vec<Vec<String>> = run_panel(panel, base, with_brute, 10)
+                .into_iter()
+                .map(|p| {
+                    let mut row = vec![
+                        format!("{}", p.value),
+                        fmt3(p.exact),
+                        fmt3(p.baseline2),
+                        fmt3(p.baseline3),
+                    ];
+                    if let Some(brute) = p.brute_force {
+                        row.push(fmt3(brute));
+                    }
+                    row
+                })
+                .collect();
+            let mut headers = vec![panel.label(), "ADPaR-Exact", "Baseline2", "Baseline3"];
+            if with_brute {
+                headers.push("ADPaRB");
+            }
+            println!(
+                "{}",
+                render_table(
+                    &format!(
+                        "Figure 17 — distance between d and d', varying {} ({label})",
+                        panel.label()
+                    ),
+                    &headers,
+                    &rows
+                )
+            );
+        }
+    }
+}

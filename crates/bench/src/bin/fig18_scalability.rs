@@ -1,0 +1,60 @@
+//! Figure 18: scalability of BatchStrat (vs BruteForce) and ADPaR-Exact.
+//!
+//! Pass `--paper-scale` for the paper's full grids (m up to 800, |S| up to
+//! 25 000, k up to 250); the default grids finish in seconds.
+
+use stratrec_bench::report::{fmt_secs, render_table};
+use stratrec_bench::scalability::{
+    adpar_scalability, batch_scalability, panel_values, ScalabilityPanel,
+};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+
+    // Panel (a): batch deployment vs m.
+    let values = panel_values(ScalabilityPanel::BatchSize, paper_scale);
+    // Brute force enumerates 2^m subsets; cap it where it stays tractable.
+    let rows: Vec<Vec<String>> = batch_scalability(&values, 25, 2020)
+        .into_iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.value),
+                fmt_secs(p.primary_seconds),
+                p.comparison_seconds
+                    .map(fmt_secs)
+                    .unwrap_or_else(|| "(skipped)".to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 18a — batch deployment running time, varying m",
+            &["m", "BatchStrat", "BruteForce"],
+            &rows
+        )
+    );
+
+    // Panels (b) and (c): ADPaR-Exact vs |S| and k.
+    let base_s = if paper_scale { 10_000 } else { 1_000 };
+    for (panel, title) in [
+        (
+            ScalabilityPanel::StrategyCount,
+            "Figure 18b — ADPaR-Exact running time, varying |S|",
+        ),
+        (
+            ScalabilityPanel::K,
+            "Figure 18c — ADPaR-Exact running time, varying k",
+        ),
+    ] {
+        let values = panel_values(panel, paper_scale);
+        let rows: Vec<Vec<String>> = adpar_scalability(panel, &values, base_s, 2020)
+            .into_iter()
+            .map(|p| vec![format!("{}", p.value), fmt_secs(p.primary_seconds)])
+            .collect();
+        println!(
+            "{}",
+            render_table(title, &[panel.label(), "ADPaR-Exact"], &rows)
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # Benchmark harness
+//!
+//! Drivers that regenerate every table and figure of the paper's evaluation
+//! (§5). Each module produces plain data rows; the binaries under
+//! `src/bin/` print them as aligned text tables so the output can be compared
+//! side-by-side with the paper (see `EXPERIMENTS.md` at the repository root).
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`realdata`] | Figure 11, Figure 12, Table 6, Figure 13 (simulated AMT) |
+//! | [`satisfaction`] | Figure 14 (percentage of satisfied requests) |
+//! | [`objective`] | Figure 15 (throughput) and Figure 16 (pay-off + approximation factor) |
+//! | [`adpar_quality`] | Figure 17 (ADPaR objective vs baselines) |
+//! | [`scalability`] | Figure 18 (running times) |
+//! | [`report`] | plain-text table rendering shared by the binaries |
+
+#![forbid(unsafe_code)]
+
+pub mod adpar_quality;
+pub mod objective;
+pub mod realdata;
+pub mod report;
+pub mod satisfaction;
+pub mod scalability;

@@ -1,0 +1,196 @@
+//! Figures 15 and 16: aggregated objective value of `BatchStrat` against
+//! `Brute Force` and `BaselineG`, for throughput and pay-off.
+//!
+//! Uses the paper's reduced grid (`k = 10`, `m = 5`, `|S| = 30`, `W = 0.5`
+//! by default) because brute force "does not scale beyond that", varying one
+//! of `k`, `m`, `|S|` over `{10, 20, 30}` per panel.
+//!
+//! Following the synthetic setup of §5.2 (strategy parameter triples and
+//! availability models are generated independently), eligibility is decided
+//! by the availability models alone ([`EligibilityRule::ModelOnly`]): with
+//! only 30 random strategies, demanding `k = 10` of them to also dominate the
+//! request's thresholds would make almost every instance infeasible, which is
+//! not what Figures 15–16 show.
+
+use serde::{Deserialize, Serialize};
+use stratrec_core::batch::{BatchAlgorithm, BatchObjective, BatchStrat};
+use stratrec_core::workforce::{AggregationMode, EligibilityRule};
+use stratrec_workload::scenario::BatchScenario;
+
+/// Which knob a panel varies (the paper uses the same three panels for both
+/// figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Panel {
+    /// Vary `k` (Figures 15a / 16a).
+    K,
+    /// Vary `m` (Figures 15b / 16b).
+    BatchSize,
+    /// Vary `|S|` (Figures 15c / 16c).
+    StrategyCount,
+}
+
+impl Panel {
+    /// Axis label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::K => "k",
+            Self::BatchSize => "m",
+            Self::StrategyCount => "|S|",
+        }
+    }
+
+    /// The sweep values used by the paper.
+    #[must_use]
+    pub fn paper_values(self) -> Vec<usize> {
+        vec![10, 20, 30]
+    }
+
+    fn apply(self, mut scenario: BatchScenario, value: usize) -> BatchScenario {
+        match self {
+            Self::K => scenario.k = value,
+            Self::BatchSize => scenario.batch_size = value,
+            Self::StrategyCount => scenario.strategy_count = value,
+        }
+        scenario
+    }
+}
+
+/// One data point: the three algorithms' objective values on identical
+/// instances (averaged over seeds), plus the empirical approximation factor
+/// of `BatchStrat` against brute force.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectivePoint {
+    /// The swept value.
+    pub value: usize,
+    /// Average objective achieved by exhaustive search.
+    pub brute_force: f64,
+    /// Average objective achieved by `BatchStrat`.
+    pub batchstrat: f64,
+    /// Average objective achieved by `BaselineG`.
+    pub baseline_g: f64,
+    /// `batchstrat / brute_force` (1.0 when brute force achieves zero).
+    pub approximation_factor: f64,
+}
+
+/// Runs one panel for one objective, averaging over `runs` seeds.
+#[must_use]
+pub fn run_panel(
+    objective: BatchObjective,
+    panel: Panel,
+    base: BatchScenario,
+    runs: u64,
+) -> Vec<ObjectivePoint> {
+    panel
+        .paper_values()
+        .into_iter()
+        .map(|value| {
+            let scenario = panel.apply(base, value);
+            let mut sums = [0.0_f64; 3];
+            for run in 0..runs.max(1) {
+                let instance = BatchScenario {
+                    seed: scenario.seed.wrapping_add(run),
+                    ..scenario
+                }
+                .materialize();
+                for (slot, algorithm) in [
+                    BatchAlgorithm::BruteForce,
+                    BatchAlgorithm::BatchStrat,
+                    BatchAlgorithm::BaselineG,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let outcome = BatchStrat::new(objective, AggregationMode::Max)
+                        .with_algorithm(algorithm)
+                        .with_eligibility(EligibilityRule::ModelOnly)
+                        .recommend_with_models(
+                            &instance.requests,
+                            &instance.strategies,
+                            &instance.models,
+                            scenario.k,
+                            instance.availability,
+                        )
+                        .expect("generated models cover every strategy");
+                    sums[slot] += outcome.objective_value;
+                }
+            }
+            let n = runs.max(1) as f64;
+            let brute_force = sums[0] / n;
+            let batchstrat = sums[1] / n;
+            let baseline_g = sums[2] / n;
+            ObjectivePoint {
+                value,
+                brute_force,
+                batchstrat,
+                baseline_g,
+                approximation_factor: if brute_force <= f64::EPSILON {
+                    1.0
+                } else {
+                    batchstrat / brute_force
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stratrec_workload::scenario::ParameterDistribution;
+
+    fn base() -> BatchScenario {
+        BatchScenario {
+            distribution: ParameterDistribution::Uniform,
+            k: 5,
+            ..BatchScenario::brute_force_defaults()
+        }
+    }
+
+    #[test]
+    fn throughput_batchstrat_matches_brute_force() {
+        // Theorem 2: BatchStrat is exact for throughput.
+        for point in run_panel(BatchObjective::Throughput, Panel::BatchSize, base(), 3) {
+            assert!(
+                (point.batchstrat - point.brute_force).abs() < 1e-9,
+                "value {}: {} vs {}",
+                point.value,
+                point.batchstrat,
+                point.brute_force
+            );
+        }
+    }
+
+    #[test]
+    fn payoff_approximation_factor_is_at_least_one_half() {
+        for panel in [Panel::K, Panel::BatchSize, Panel::StrategyCount] {
+            for point in run_panel(BatchObjective::Payoff, panel, base(), 3) {
+                assert!(point.approximation_factor >= 0.5 - 1e-9);
+                assert!(point.approximation_factor <= 1.0 + 1e-9);
+                // Observation 1 of the paper: the empirical factor stays
+                // above 0.9, far better than the theoretical 1/2.
+                assert!(
+                    point.approximation_factor > 0.85,
+                    "panel {panel:?} value {}: factor {}",
+                    point.value,
+                    point.approximation_factor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_g_never_beats_brute_force() {
+        for point in run_panel(BatchObjective::Payoff, Panel::K, base(), 3) {
+            assert!(point.baseline_g <= point.brute_force + 1e-9);
+        }
+    }
+
+    #[test]
+    fn panels_expose_paper_values_and_labels() {
+        assert_eq!(Panel::K.paper_values(), vec![10, 20, 30]);
+        assert_eq!(Panel::StrategyCount.label(), "|S|");
+        let points = run_panel(BatchObjective::Throughput, Panel::K, base(), 1);
+        assert_eq!(points.len(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures 11–13 and Table 6: the (simulated) real-data experiments.
+//!
+//! Thin drivers over `stratrec-platform` that collect the rows the figure
+//! binaries print. The with/without-StratRec comparison (Figure 13) runs the
+//! two task types on separate threads via `crossbeam` scoped threads, since
+//! each arm simulates hundreds of HIT executions.
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+use stratrec_core::model::TaskType;
+use stratrec_platform::abtest::{run_ab_test, AbTestConfig, AbTestResult};
+use stratrec_platform::experiment::{CalibrationExperiment, FittedStrategyReport};
+use stratrec_platform::DeploymentWindow;
+
+/// One row of Figure 11: mean availability and its standard error for a
+/// (window, strategy) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityRow {
+    /// Deployment window label.
+    pub window: String,
+    /// Strategy name (`SEQ-IND-CRO` / `SIM-COL-CRO`).
+    pub strategy: String,
+    /// Mean estimated availability.
+    pub mean: f64,
+    /// Standard error (the paper's error bars).
+    pub std_err: f64,
+}
+
+/// Figure 11 rows for one task type.
+#[must_use]
+pub fn figure11(task: TaskType, seed: u64) -> Vec<AvailabilityRow> {
+    let experiment = CalibrationExperiment::with_seed(seed);
+    experiment
+        .availability_study(task)
+        .into_iter()
+        .map(|(window, strategy, estimate)| AvailabilityRow {
+            window: window_label(window),
+            strategy,
+            mean: estimate.mean,
+            std_err: estimate.std_err,
+        })
+        .collect()
+}
+
+fn window_label(window: DeploymentWindow) -> String {
+    window.label().to_string()
+}
+
+/// Table 6 / Figure 12: the fitted `(α, β)` reports for both task types and
+/// both deployed strategies.
+#[must_use]
+pub fn table6(seed: u64) -> Vec<FittedStrategyReport> {
+    CalibrationExperiment::with_seed(seed).table6()
+}
+
+/// Figure 13: the mirrored with/without-StratRec results for both task
+/// types, run concurrently.
+#[must_use]
+pub fn figure13(config: &AbTestConfig) -> Vec<AbTestResult> {
+    let tasks = [TaskType::SentenceTranslation, TaskType::TextCreation];
+    thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .iter()
+            .map(|&task| scope.spawn(move |_| run_ab_test(task, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ab-test thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_has_six_rows_per_task() {
+        let rows = figure11(TaskType::SentenceTranslation, 1);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.mean)));
+        let windows: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.window.as_str()).collect();
+        assert_eq!(windows.len(), 3);
+    }
+
+    #[test]
+    fn table6_reports_both_tasks_and_strategies() {
+        let reports = table6(1);
+        assert_eq!(reports.len(), 4);
+        assert!(reports
+            .iter()
+            .any(|r| r.task_type == TaskType::TextCreation && r.strategy_name == "SIM-COL-CRO"));
+    }
+
+    #[test]
+    fn figure13_shows_stratrec_advantage_for_both_tasks() {
+        let results = figure13(&AbTestConfig {
+            deployments_per_task: 6,
+            ..AbTestConfig::default()
+        });
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.with_stratrec.quality.mean > r.without_stratrec.quality.mean);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Plain-text table rendering for the figure binaries.
+
+/// Renders a table with a header row and aligned columns, returning the
+/// formatted string (one trailing newline).
+#[must_use]
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{cell:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with three decimal places.
+#[must_use]
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a duration in seconds with sub-millisecond resolution.
+#[must_use]
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_all_cells() {
+        let rows = vec![
+            vec!["10".to_string(), "0.9".to_string()],
+            vec!["10000".to_string(), "0.75".to_string()],
+        ];
+        let table = render_table("Figure X", &["k", "satisfied"], &rows);
+        assert!(table.starts_with("Figure X\n"));
+        assert!(table.contains("10000"));
+        assert!(table.contains("satisfied"));
+        let header_line = table.lines().nth(1).unwrap();
+        assert!(header_line.starts_with("k    "));
+    }
+
+    #[test]
+    fn float_and_duration_formatting() {
+        assert_eq!(fmt3(0.5), "0.500");
+        assert_eq!(fmt_secs(0.0015), "1.50 ms");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+    }
+}

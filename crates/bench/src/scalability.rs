@@ -1,0 +1,199 @@
+//! Figure 18: scalability of `BatchStrat` and `ADPaR-Exact`.
+//!
+//! Measures wall-clock running times while sweeping the batch size `m`
+//! (Figure 18a, `BatchStrat` vs `Brute Force`), the strategy-set size `|S|`
+//! (Figure 18b, `ADPaR-Exact`) and the cardinality `k` (Figure 18c). Absolute
+//! numbers obviously differ from the paper's Python-on-i9 setup; the point
+//! reproduced is the *shape*: brute force explodes exponentially in `m` while
+//! `BatchStrat` stays linear, and `ADPaR-Exact` grows polynomially but
+//! remains practical for large `|S|` and `k`.
+//!
+//! The sweeps default to scaled-down grids so `cargo bench`/CI stay fast;
+//! pass `--paper-scale` to the `fig18_scalability` binary for the full grids.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use stratrec_core::adpar::{AdparExact, AdparProblem, AdparSolver};
+use stratrec_core::batch::{BatchAlgorithm, BatchObjective, BatchStrat};
+use stratrec_core::workforce::AggregationMode;
+use stratrec_workload::scenario::{AdparScenario, BatchScenario};
+
+/// One timing measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingPoint {
+    /// The swept value (`m`, `|S|` or `k`).
+    pub value: usize,
+    /// Wall-clock seconds of the primary algorithm (`BatchStrat` /
+    /// `ADPaR-Exact`).
+    pub primary_seconds: f64,
+    /// Wall-clock seconds of the comparison algorithm (`Brute Force`), when
+    /// measured.
+    pub comparison_seconds: Option<f64>,
+}
+
+/// Sweep values for the three panels. `paper_scale` selects the paper's full
+/// grids; otherwise reduced grids keep the run short.
+#[must_use]
+pub fn panel_values(panel: ScalabilityPanel, paper_scale: bool) -> Vec<usize> {
+    match (panel, paper_scale) {
+        (ScalabilityPanel::BatchSize, true) => vec![200, 400, 600, 800],
+        (ScalabilityPanel::BatchSize, false) => vec![50, 100, 200],
+        (ScalabilityPanel::StrategyCount, true) => vec![1_000, 5_000, 25_000],
+        (ScalabilityPanel::StrategyCount, false) => vec![500, 1_000, 2_000],
+        (ScalabilityPanel::K, true) => vec![10, 50, 250],
+        (ScalabilityPanel::K, false) => vec![10, 25, 50],
+    }
+}
+
+/// Which scalability panel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalabilityPanel {
+    /// Figure 18a: batch deployment vs `m`.
+    BatchSize,
+    /// Figure 18b: `ADPaR-Exact` vs `|S|`.
+    StrategyCount,
+    /// Figure 18c: `ADPaR-Exact` vs `k`.
+    K,
+}
+
+impl ScalabilityPanel {
+    /// Axis label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::BatchSize => "m",
+            Self::StrategyCount => "|S|",
+            Self::K => "k",
+        }
+    }
+}
+
+/// Figure 18a: times `BatchStrat` for each batch size, and `Brute Force` as
+/// long as it stays feasible (`m ≤ brute_force_cap`).
+#[must_use]
+pub fn batch_scalability(
+    values: &[usize],
+    brute_force_cap: usize,
+    seed: u64,
+) -> Vec<TimingPoint> {
+    values
+        .iter()
+        .map(|&m| {
+            // Figure 18a defaults: |S| = 30, k = 10, W = 0.75.
+            let scenario = BatchScenario {
+                batch_size: m,
+                strategy_count: 30,
+                k: 10,
+                availability: 0.75,
+                seed,
+                ..BatchScenario::default()
+            };
+            let instance = scenario.materialize();
+            let run = |algorithm: BatchAlgorithm| {
+                let engine = BatchStrat::new(BatchObjective::Payoff, AggregationMode::Max)
+                    .with_algorithm(algorithm);
+                let start = Instant::now();
+                let outcome = engine
+                    .recommend_with_models(
+                        &instance.requests,
+                        &instance.strategies,
+                        &instance.models,
+                        scenario.k,
+                        instance.availability,
+                    )
+                    .expect("generated models cover every strategy");
+                let elapsed = start.elapsed().as_secs_f64();
+                // Prevent the optimizer from discarding the computation.
+                assert!(outcome.objective_value >= 0.0);
+                elapsed
+            };
+            TimingPoint {
+                value: m,
+                primary_seconds: run(BatchAlgorithm::BatchStrat),
+                comparison_seconds: (m <= brute_force_cap)
+                    .then(|| run(BatchAlgorithm::BruteForce)),
+            }
+        })
+        .collect()
+}
+
+/// Figures 18b and 18c: times `ADPaR-Exact` while sweeping `|S|` or `k`.
+///
+/// `base_strategy_count` is the fixed `|S|` used by the `k` panel (the paper
+/// uses 10 000; smaller values keep tests and CI quick).
+#[must_use]
+pub fn adpar_scalability(
+    panel: ScalabilityPanel,
+    values: &[usize],
+    base_strategy_count: usize,
+    seed: u64,
+) -> Vec<TimingPoint> {
+    values
+        .iter()
+        .map(|&value| {
+            let scenario = match panel {
+                ScalabilityPanel::StrategyCount => AdparScenario {
+                    strategy_count: value,
+                    k: 5,
+                    seed,
+                    ..AdparScenario::default()
+                },
+                _ => AdparScenario {
+                    strategy_count: base_strategy_count.max(value),
+                    k: value,
+                    seed,
+                    ..AdparScenario::default()
+                },
+            };
+            let instance = scenario.materialize();
+            let problem = AdparProblem::new(&instance.request, &instance.strategies, instance.k);
+            let start = Instant::now();
+            let solution = AdparExact.solve(&problem).expect("|S| >= k");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(solution.distance >= 0.0);
+            TimingPoint {
+                value,
+                primary_seconds: elapsed,
+                comparison_seconds: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_timings_cover_all_values_and_cap_brute_force() {
+        let points = batch_scalability(&[5, 10, 40], 20, 7);
+        assert_eq!(points.len(), 3);
+        assert!(points[0].comparison_seconds.is_some());
+        assert!(points[2].comparison_seconds.is_none());
+        for p in &points {
+            assert!(p.primary_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn adpar_timings_are_positive_and_grow_with_strategy_count() {
+        let points = adpar_scalability(ScalabilityPanel::StrategyCount, &[100, 800], 200, 7);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.primary_seconds >= 0.0));
+    }
+
+    #[test]
+    fn panel_values_and_labels() {
+        assert_eq!(panel_values(ScalabilityPanel::K, true), vec![10, 50, 250]);
+        assert!(panel_values(ScalabilityPanel::StrategyCount, false).len() >= 3);
+        assert_eq!(ScalabilityPanel::BatchSize.label(), "m");
+    }
+
+    #[test]
+    fn adpar_k_panel_uses_a_large_enough_strategy_set() {
+        // k larger than the base strategy count must not panic: |S| grows to k.
+        let points = adpar_scalability(ScalabilityPanel::K, &[150], 100, 3);
+        assert_eq!(points.len(), 1);
+    }
+}

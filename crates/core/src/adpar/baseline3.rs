@@ -1,0 +1,208 @@
+//! `Baseline3`: the R-tree MBB baseline (paper §5.2.1).
+//!
+//! "We treat each strategy['s] parameters as a point in a 3-D space and index
+//! them using an R-Tree. Then, it scans the tree to find if there is a
+//! minimum bounding box (MBB) that exactly contains k strategies. If so, it
+//! returns the top-right corner of that MBB as the alternative deployment
+//! parameters and corresponding k strategies. If such an MBB does not exist,
+//! it will return the top right corner of another MBB that has at least k
+//! strategies and will randomly return k strategies from there."
+//!
+//! The baseline is *not* optimization driven: the returned corner can be far
+//! from the request — and can even tighten some axes — which is why it loses
+//! badly in Figure 17. For reproducibility the "random" choice of the ≥ `k`
+//! fallback node and of the `k` strategies is made deterministic: the node
+//! with the fewest points (ties: smallest MBB volume) wins, and the first `k`
+//! covered strategies in index order are reported.
+
+use stratrec_geometry::{Aabb3, Point3, RTree};
+
+use crate::adpar::{AdparProblem, AdparSolution, AdparSolver};
+use crate::error::StratRecError;
+use crate::model::DeploymentParameters;
+
+/// The R-tree MBB baseline solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdparBaseline3 {
+    /// Node capacity used when bulk-loading the R-tree. The paper does not
+    /// specify one; 8 is the library default.
+    pub node_capacity: usize,
+}
+
+impl Default for AdparBaseline3 {
+    fn default() -> Self {
+        Self { node_capacity: 8 }
+    }
+}
+
+impl AdparSolver for AdparBaseline3 {
+    fn solve(&self, problem: &AdparProblem<'_>) -> Result<AdparSolution, StratRecError> {
+        problem.validate()?;
+        let k = problem.k;
+
+        // Index strategies as points in the normalized minimization space.
+        let points: Vec<Point3> = problem
+            .strategies
+            .iter()
+            .map(|s| s.to_normalized_point())
+            .collect();
+        let tree = RTree::bulk_load_with_capacity(&points, self.node_capacity);
+
+        // Scan all node MBBs: prefer one containing exactly k points,
+        // otherwise the smallest one containing at least k.
+        let summaries = tree.node_summaries();
+        let exact_match = summaries
+            .iter()
+            .filter(|(_, count)| *count == k)
+            .min_by(|a, b| a.0.volume().total_cmp(&b.0.volume()));
+        let fallback = summaries
+            .iter()
+            .filter(|(_, count)| *count >= k)
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.0.volume().total_cmp(&b.0.volume())));
+        let (mbb, _) = exact_match
+            .or(fallback)
+            .expect("the root MBB contains |S| >= k points");
+
+        let corner = mbb.top_right();
+        let alternative = DeploymentParameters::from_normalized_point(corner);
+
+        // Strategies admitted by the corner (every point of the chosen node is,
+        // by construction of the MBB). Report the first k in index order, as
+        // the deterministic stand-in for the paper's random pick.
+        let admitted = tree.query_box(&Aabb3::anchored_at_origin(corner));
+        let strategy_indices: Vec<usize> = admitted.into_iter().take(k).collect();
+
+        let request_point = problem.request.to_normalized_point();
+        let relaxation = Point3::new(
+            corner.x - request_point.x,
+            corner.y - request_point.y,
+            corner.z - request_point.z,
+        );
+        Ok(AdparSolution {
+            alternative,
+            relaxation,
+            strategy_indices,
+            distance: corner.distance(&request_point),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Baseline3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adpar::AdparExact;
+    use crate::model::{DeploymentRequest, Strategy, TaskType};
+    use proptest::prelude::*;
+
+    fn request(q: f64, c: f64, l: f64) -> DeploymentRequest {
+        DeploymentRequest::new(
+            0,
+            TaskType::PuzzleSolving,
+            DeploymentParameters::clamped(q, c, l),
+        )
+    }
+
+    fn strategies_from(params: &[(f64, f64, f64)]) -> Vec<Strategy> {
+        params
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, c, l))| {
+                Strategy::from_params(i as u64, DeploymentParameters::clamped(q, c, l))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn produces_an_alternative_admitting_k_strategies() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let problem = AdparProblem::new(&requests[1], &strategies, 3);
+        let solution = AdparBaseline3::default().solve(&problem).unwrap();
+        assert_eq!(solution.strategy_indices.len(), 3);
+        for &idx in &solution.strategy_indices {
+            assert!(strategies[idx].params.satisfies(&solution.alternative));
+        }
+    }
+
+    #[test]
+    fn is_generally_worse_than_exact() {
+        let strategies = strategies_from(&[
+            (0.9, 0.1, 0.1),
+            (0.85, 0.15, 0.2),
+            (0.6, 0.5, 0.6),
+            (0.5, 0.7, 0.9),
+            (0.3, 0.9, 0.9),
+            (0.95, 0.05, 0.05),
+        ]);
+        let r = request(0.99, 0.01, 0.01);
+        let problem = AdparProblem::new(&r, &strategies, 2);
+        let exact = AdparExact.solve(&problem).unwrap();
+        let baseline = AdparBaseline3::default().solve(&problem).unwrap();
+        assert!(baseline.distance + 1e-12 >= exact.distance);
+    }
+
+    #[test]
+    fn small_node_capacity_still_works() {
+        let strategies = strategies_from(&[
+            (0.9, 0.1, 0.1),
+            (0.8, 0.2, 0.2),
+            (0.7, 0.3, 0.3),
+            (0.6, 0.4, 0.4),
+            (0.5, 0.5, 0.5),
+            (0.4, 0.6, 0.6),
+            (0.3, 0.7, 0.7),
+            (0.2, 0.8, 0.8),
+            (0.1, 0.9, 0.9),
+        ]);
+        let r = request(0.95, 0.05, 0.05);
+        let solver = AdparBaseline3 { node_capacity: 2 };
+        let solution = solver
+            .solve(&AdparProblem::new(&r, &strategies, 3))
+            .unwrap();
+        assert_eq!(solution.strategy_indices.len(), 3);
+        assert_eq!(solver.name(), "Baseline3");
+    }
+
+    #[test]
+    fn errors_are_propagated() {
+        let strategies = strategies_from(&[(0.5, 0.5, 0.5)]);
+        let r = request(0.9, 0.1, 0.1);
+        assert!(AdparBaseline3::default()
+            .solve(&AdparProblem::new(&r, &strategies, 0))
+            .is_err());
+        assert!(AdparBaseline3::default()
+            .solve(&AdparProblem::new(&r, &strategies, 3))
+            .is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn reported_strategies_are_admitted_by_the_alternative(
+            raw in proptest::collection::vec(
+                (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+                1..40
+            ),
+            req in (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+            k in 1_usize..6,
+            capacity in 2_usize..10,
+        ) {
+            prop_assume!(k <= raw.len());
+            let strategies = strategies_from(&raw);
+            let request = request(req.0, req.1, req.2);
+            let problem = AdparProblem::new(&request, &strategies, k);
+            let solver = AdparBaseline3 { node_capacity: capacity };
+            let solution = solver.solve(&problem).unwrap();
+            prop_assert_eq!(solution.strategy_indices.len(), k);
+            for &idx in &solution.strategy_indices {
+                prop_assert!(strategies[idx].params.satisfies(&solution.alternative));
+            }
+            // Never better than the true optimum.
+            let exact = AdparExact.solve(&problem).unwrap();
+            prop_assert!(solution.distance + 1e-9 >= exact.distance);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Alternative deployment-parameter recommendation (ADPaR, paper §4).
+//!
+//! When the Aggregator cannot find `k` strategies satisfying a deployment
+//! request `d`, ADPaR recommends the *closest* alternative parameters `d′`
+//! (in Euclidean distance, Equation 3) for which `k` strategies do exist.
+//! After normalization (quality inverted so smaller is better everywhere)
+//! each strategy is a point in 3-D space and `d′` must *cover* at least `k`
+//! of those points.
+//!
+//! The module provides the paper's four solvers behind one trait:
+//!
+//! | Solver | Paper name | Guarantee | Complexity |
+//! |---|---|---|---|
+//! | [`AdparExact`] | `ADPaR-Exact` | exact | `O(\|S\|² log k)` (paper reports `O(\|S\|³)`) |
+//! | [`AdparBruteForce`] | `ADPaRB` | exact | exponential in `k` |
+//! | [`AdparBaseline2`] | `Baseline2` | none (one dimension at a time) | `O(\|S\| log \|S\|)` |
+//! | [`AdparBaseline3`] | `Baseline3` | none (R-tree MBB corners) | `O(\|S\| log \|S\|)` |
+
+mod baseline2;
+mod baseline3;
+mod brute;
+mod exact;
+pub mod trace;
+
+pub use baseline2::AdparBaseline2;
+pub use baseline3::AdparBaseline3;
+pub use brute::AdparBruteForce;
+pub use exact::AdparExact;
+
+use serde::{Deserialize, Serialize};
+use stratrec_geometry::Point3;
+
+use crate::error::StratRecError;
+use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
+
+/// An ADPaR problem instance: one unsatisfied request, the strategy set and
+/// the cardinality constraint `k`.
+#[derive(Debug, Clone)]
+pub struct AdparProblem<'a> {
+    /// The request whose parameters need relaxing.
+    pub request: &'a DeploymentRequest,
+    /// All strategies available on the platform.
+    pub strategies: &'a [Strategy],
+    /// Number of strategies the alternative parameters must admit.
+    pub k: usize,
+}
+
+impl<'a> AdparProblem<'a> {
+    /// Creates a problem instance.
+    #[must_use]
+    pub fn new(request: &'a DeploymentRequest, strategies: &'a [Strategy], k: usize) -> Self {
+        Self {
+            request,
+            strategies,
+            k,
+        }
+    }
+
+    /// Validates the instance: `k ≥ 1` and at least `k` strategies exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::ZeroCardinality`] or
+    /// [`StratRecError::NotEnoughStrategies`].
+    pub fn validate(&self) -> Result<(), StratRecError> {
+        if self.k == 0 {
+            return Err(StratRecError::ZeroCardinality);
+        }
+        if self.strategies.len() < self.k {
+            return Err(StratRecError::NotEnoughStrategies {
+                available: self.strategies.len(),
+                requested: self.k,
+            });
+        }
+        Ok(())
+    }
+
+    /// The per-strategy relaxation vectors (paper §4.1, step 1): how much
+    /// each parameter of the request must move for the strategy to become
+    /// admissible, expressed in the normalized minimization space. A zero
+    /// component means no relaxation is needed on that axis.
+    ///
+    /// Axis mapping: `x` = quality relaxation (decrease of the quality lower
+    /// bound), `y` = cost relaxation (increase of the budget), `z` = latency
+    /// relaxation (increase of the deadline).
+    #[must_use]
+    pub fn relaxations(&self) -> Vec<Point3> {
+        let d = &self.request.params;
+        self.strategies
+            .iter()
+            .map(|s| relaxation_of(&s.params, d))
+            .collect()
+    }
+
+    /// Converts a chosen relaxation vector back into concrete alternative
+    /// deployment parameters.
+    #[must_use]
+    pub fn apply_relaxation(&self, relaxation: Point3) -> DeploymentParameters {
+        let d = &self.request.params;
+        DeploymentParameters::clamped(
+            d.quality - relaxation.x,
+            d.cost + relaxation.y,
+            d.latency + relaxation.z,
+        )
+    }
+
+    /// Indices of the strategies covered by a relaxation vector (those whose
+    /// own relaxation is component-wise ≤ the given one).
+    #[must_use]
+    pub fn covered_by(&self, relaxation: Point3) -> Vec<usize> {
+        self.relaxations()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_covered_by(&relaxation, 1e-9))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The relaxation vector needed for a strategy with parameters `s` to become
+/// admissible under a request with parameters `d`.
+#[must_use]
+pub fn relaxation_of(s: &DeploymentParameters, d: &DeploymentParameters) -> Point3 {
+    Point3::new(
+        (d.quality - s.quality).max(0.0),
+        (s.cost - d.cost).max(0.0),
+        (s.latency - d.latency).max(0.0),
+    )
+}
+
+/// An ADPaR solution: the alternative parameters, the strategies they admit
+/// and the distance to the original request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdparSolution {
+    /// The recommended alternative deployment parameters.
+    pub alternative: DeploymentParameters,
+    /// The relaxation applied on each axis (quality, cost, latency).
+    pub relaxation: Point3,
+    /// Indices of the strategies admitted by the alternative parameters
+    /// (at least `k`, sorted ascending).
+    pub strategy_indices: Vec<usize>,
+    /// Euclidean distance between the original and alternative parameters
+    /// (the objective of Equation 3).
+    pub distance: f64,
+}
+
+impl AdparSolution {
+    /// Builds a solution from a chosen relaxation, recomputing coverage and
+    /// distance from the problem instance so the fields stay consistent.
+    #[must_use]
+    pub fn from_relaxation(problem: &AdparProblem<'_>, relaxation: Point3) -> Self {
+        let alternative = problem.apply_relaxation(relaxation);
+        let mut strategy_indices = problem.covered_by(relaxation);
+        strategy_indices.sort_unstable();
+        Self {
+            alternative,
+            relaxation,
+            strategy_indices,
+            distance: relaxation.distance(&Point3::origin()),
+        }
+    }
+
+    /// Whether the solution satisfies the cardinality constraint of
+    /// `problem`.
+    #[must_use]
+    pub fn is_feasible_for(&self, problem: &AdparProblem<'_>) -> bool {
+        self.strategy_indices.len() >= problem.k
+    }
+}
+
+/// A solver for the ADPaR problem.
+pub trait AdparSolver {
+    /// Computes alternative deployment parameters admitting at least `k`
+    /// strategies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::ZeroCardinality`] when `k = 0` and
+    /// [`StratRecError::NotEnoughStrategies`] when fewer than `k` strategies
+    /// exist (no relaxation can ever help).
+    fn solve(&self, problem: &AdparProblem<'_>) -> Result<AdparSolution, StratRecError>;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskType;
+
+    fn problem_fixture() -> (DeploymentRequest, Vec<Strategy>) {
+        let strategies = crate::examples_data::running_example_strategies();
+        let request = crate::examples_data::running_example_requests()[1].clone(); // d2
+        (request, strategies)
+    }
+
+    #[test]
+    fn validation_catches_bad_instances() {
+        let (request, strategies) = problem_fixture();
+        assert!(AdparProblem::new(&request, &strategies, 3).validate().is_ok());
+        assert!(matches!(
+            AdparProblem::new(&request, &strategies, 0).validate(),
+            Err(StratRecError::ZeroCardinality)
+        ));
+        assert!(matches!(
+            AdparProblem::new(&request, &strategies, 9).validate(),
+            Err(StratRecError::NotEnoughStrategies {
+                available: 4,
+                requested: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn relaxations_match_paper_step_1() {
+        // For d2 = (0.8, 0.2, 0.28) the paper's step-1 relaxation values are
+        // {0.3, 0.05, 0, 0} on one axis and {0.05, 0.13, 0.3, 0.38} on the
+        // other (Table 3), with zero latency relaxations.
+        let (request, strategies) = problem_fixture();
+        let problem = AdparProblem::new(&request, &strategies, 3);
+        let rel = problem.relaxations();
+        let quality: Vec<f64> = rel.iter().map(|r| (r.x * 100.0).round() / 100.0).collect();
+        let cost: Vec<f64> = rel.iter().map(|r| (r.y * 100.0).round() / 100.0).collect();
+        let latency: Vec<f64> = rel.iter().map(|r| r.z).collect();
+        assert_eq!(quality, vec![0.3, 0.05, 0.0, 0.0]);
+        assert_eq!(cost, vec![0.05, 0.13, 0.3, 0.38]);
+        assert_eq!(latency, vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_relaxation_moves_each_bound_in_the_right_direction() {
+        let (request, strategies) = problem_fixture();
+        let problem = AdparProblem::new(&request, &strategies, 3);
+        let alt = problem.apply_relaxation(Point3::new(0.05, 0.38, 0.0));
+        assert!((alt.quality - 0.75).abs() < 1e-9);
+        assert!((alt.cost - 0.58).abs() < 1e-9);
+        assert!((alt.latency - 0.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_grows_with_relaxation() {
+        let (request, strategies) = problem_fixture();
+        let problem = AdparProblem::new(&request, &strategies, 3);
+        assert!(problem.covered_by(Point3::origin()).is_empty());
+        assert_eq!(problem.covered_by(Point3::new(0.0, 0.3, 0.0)), vec![2]);
+        assert_eq!(
+            problem.covered_by(Point3::new(0.05, 0.38, 0.0)),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            problem.covered_by(Point3::new(1.0, 1.0, 1.0)).len(),
+            strategies.len()
+        );
+    }
+
+    #[test]
+    fn solution_from_relaxation_is_consistent() {
+        let (request, strategies) = problem_fixture();
+        let problem = AdparProblem::new(&request, &strategies, 3);
+        let solution = AdparSolution::from_relaxation(&problem, Point3::new(0.05, 0.38, 0.0));
+        assert!(solution.is_feasible_for(&problem));
+        assert_eq!(solution.strategy_indices, vec![1, 2, 3]);
+        let expected = (0.05_f64 * 0.05 + 0.38 * 0.38).sqrt();
+        assert!((solution.distance - expected).abs() < 1e-12);
+        assert!((solution.alternative.distance(&request.params) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxation_of_an_already_satisfying_strategy_is_zero() {
+        let d = DeploymentParameters::clamped(0.4, 0.5, 0.5);
+        let s = DeploymentParameters::clamped(0.8, 0.2, 0.3);
+        assert_eq!(relaxation_of(&s, &d), Point3::origin());
+    }
+
+    #[test]
+    fn problems_can_be_built_over_arbitrary_requests() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let request = DeploymentRequest::new(
+            99,
+            TaskType::PuzzleSolving,
+            DeploymentParameters::clamped(1.0, 0.0, 0.0),
+        );
+        let problem = AdparProblem::new(&request, &strategies, 2);
+        // Every strategy needs relaxation on every axis for this extreme request.
+        assert!(problem
+            .relaxations()
+            .iter()
+            .all(|r| r.x > 0.0 && r.y > 0.0 && r.z > 0.0));
+    }
+}

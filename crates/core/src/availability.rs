@@ -1,0 +1,224 @@
+//! Worker-availability modeling (paper §2.1).
+//!
+//! Worker availability is "a discrete random variable … represented by its
+//! corresponding distribution function (pdf), which gives the probability of
+//! the proportion of workers who are suitable and available to undertake
+//! tasks of a certain type". StratRec computes the expected value of that pdf
+//! and works with the expectation, normalized into `[0, 1]`.
+
+use serde::{Deserialize, Serialize};
+use stratrec_optim::distributions::DiscreteDistribution;
+
+use crate::error::StratRecError;
+
+/// Expected worker availability, a normalized value in `[0, 1]`.
+///
+/// `0.0` means no suitable worker is expected to be available within the
+/// deployment horizon; `1.0` means the whole suitable worker pool is
+/// expected.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct WorkerAvailability(f64);
+
+impl WorkerAvailability {
+    /// Creates a validated availability value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::ParameterOutOfRange`] if the value is not
+    /// finite or lies outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, StratRecError> {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(StratRecError::ParameterOutOfRange {
+                parameter: "availability".into(),
+                value,
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// Creates an availability value clamping into `[0, 1]`.
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        Self(value.clamp(0.0, 1.0))
+    }
+
+    /// Full availability (`1.0`).
+    #[must_use]
+    pub fn full() -> Self {
+        Self(1.0)
+    }
+
+    /// The underlying fraction in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Number of workers this availability corresponds to for a pool of
+    /// `pool_size` suitable workers (the paper's example: availability 0.055
+    /// over 4 000 workers ⇒ 220 workers in expectation).
+    #[must_use]
+    pub fn expected_workers(self, pool_size: usize) -> f64 {
+        self.0 * pool_size as f64
+    }
+}
+
+/// A probability distribution over worker-availability proportions, from
+/// which StratRec derives the expectation it plans with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityPdf {
+    distribution: DiscreteDistribution,
+}
+
+impl AvailabilityPdf {
+    /// Builds a pdf from `(proportion, probability)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::InvalidDistribution`] when probabilities are
+    /// invalid, and [`StratRecError::ParameterOutOfRange`] when a proportion
+    /// falls outside `[0, 1]`.
+    pub fn new(outcomes: &[(f64, f64)]) -> Result<Self, StratRecError> {
+        for &(proportion, _) in outcomes {
+            if !proportion.is_finite() || !(0.0..=1.0).contains(&proportion) {
+                return Err(StratRecError::ParameterOutOfRange {
+                    parameter: "availability".into(),
+                    value: proportion,
+                });
+            }
+        }
+        let (values, probs): (Vec<f64>, Vec<f64>) = outcomes.iter().copied().unzip();
+        let distribution = DiscreteDistribution::new(&values, &probs)
+            .map_err(|e| StratRecError::InvalidDistribution(e.to_string()))?;
+        Ok(Self { distribution })
+    }
+
+    /// A pdf with all mass on a single availability proportion.
+    #[must_use]
+    pub fn certain(proportion: f64) -> Self {
+        Self {
+            distribution: DiscreteDistribution::degenerate(proportion.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Expected availability — the value StratRec plans with.
+    #[must_use]
+    pub fn expectation(&self) -> WorkerAvailability {
+        WorkerAvailability::clamped(self.distribution.expectation())
+    }
+
+    /// Variance of the distribution (useful when reporting error bars, as in
+    /// the paper's Figure 11).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.distribution.variance()
+    }
+
+    /// The underlying discrete distribution.
+    #[must_use]
+    pub fn distribution(&self) -> &DiscreteDistribution {
+        &self.distribution
+    }
+
+    /// Draws an availability proportion from the pdf given a uniform sample
+    /// `u ∈ [0, 1)`; used by the platform simulator.
+    #[must_use]
+    pub fn sample_with_uniform(&self, u: f64) -> WorkerAvailability {
+        WorkerAvailability::clamped(self.distribution.sample_with_uniform(u))
+    }
+
+    /// Estimates a pdf from historical observations of availability
+    /// proportions (each observation weighted equally). This mirrors how the
+    /// paper estimates availability "from historical data on workers' arrival
+    /// and departure on a platform".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::InvalidDistribution`] when `observations` is
+    /// empty.
+    pub fn from_observations(observations: &[f64]) -> Result<Self, StratRecError> {
+        if observations.is_empty() {
+            return Err(StratRecError::InvalidDistribution(
+                "no availability observations".into(),
+            ));
+        }
+        let p = 1.0 / observations.len() as f64;
+        let pairs: Vec<(f64, f64)> = observations
+            .iter()
+            .map(|&o| (o.clamp(0.0, 1.0), p))
+            .collect();
+        Self::new(&pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_validated() {
+        assert!(WorkerAvailability::new(0.5).is_ok());
+        assert!(WorkerAvailability::new(0.0).is_ok());
+        assert!(WorkerAvailability::new(1.0).is_ok());
+        assert!(WorkerAvailability::new(1.2).is_err());
+        assert!(WorkerAvailability::new(-0.1).is_err());
+        assert!(WorkerAvailability::new(f64::NAN).is_err());
+        assert_eq!(WorkerAvailability::clamped(7.0).value(), 1.0);
+        assert_eq!(WorkerAvailability::full().value(), 1.0);
+    }
+
+    #[test]
+    fn expected_workers_matches_paper_example() {
+        // 70% chance of 7% + 30% chance of 2% = 5.5% of 4000 workers = 220.
+        let pdf = AvailabilityPdf::new(&[(0.07, 0.7), (0.02, 0.3)]).unwrap();
+        let availability = pdf.expectation();
+        assert!((availability.value() - 0.055).abs() < 1e-12);
+        assert!((availability.expected_workers(4000) - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn illustration_example_gives_point_eight() {
+        // 50% of 700/1000 + 50% of 900/1000 = 0.8 (paper §2.2).
+        let pdf = AvailabilityPdf::new(&[(0.7, 0.5), (0.9, 0.5)]).unwrap();
+        assert!((pdf.expectation().value() - 0.8).abs() < 1e-12);
+        assert!(pdf.variance() > 0.0);
+    }
+
+    #[test]
+    fn invalid_pdfs_are_rejected() {
+        assert!(matches!(
+            AvailabilityPdf::new(&[(1.5, 1.0)]),
+            Err(StratRecError::ParameterOutOfRange { .. })
+        ));
+        assert!(matches!(
+            AvailabilityPdf::new(&[(0.5, 0.4), (0.6, 0.4)]),
+            Err(StratRecError::InvalidDistribution(_))
+        ));
+        assert!(matches!(
+            AvailabilityPdf::from_observations(&[]),
+            Err(StratRecError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn certain_pdf_has_zero_variance() {
+        let pdf = AvailabilityPdf::certain(0.65);
+        assert_eq!(pdf.expectation().value(), 0.65);
+        assert_eq!(pdf.variance(), 0.0);
+        assert_eq!(pdf.sample_with_uniform(0.3).value(), 0.65);
+        assert_eq!(pdf.distribution().outcomes().len(), 1);
+    }
+
+    #[test]
+    fn observation_based_estimation_averages() {
+        let pdf = AvailabilityPdf::from_observations(&[0.6, 0.8, 1.0]).unwrap();
+        assert!((pdf.expectation().value() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_maps_uniform_draws_to_outcomes() {
+        let pdf = AvailabilityPdf::new(&[(0.2, 0.5), (0.9, 0.5)]).unwrap();
+        assert_eq!(pdf.sample_with_uniform(0.1).value(), 0.2);
+        assert_eq!(pdf.sample_with_uniform(0.9).value(), 0.9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types of the StratRec core library.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while building StratRec inputs or running its algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StratRecError {
+    /// A deployment parameter was outside the normalized `[0, 1]` range or
+    /// not finite.
+    ParameterOutOfRange {
+        /// Name of the offending parameter (`"quality"`, `"cost"`,
+        /// `"latency"` or `"availability"`).
+        parameter: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability distribution over worker availability was invalid.
+    InvalidDistribution(String),
+    /// The cardinality constraint `k` was zero.
+    ZeroCardinality,
+    /// The strategy set was empty where at least one strategy is required.
+    EmptyStrategySet,
+    /// Fewer strategies exist than the requested cardinality `k`, so no
+    /// relaxation of the deployment parameters can ever admit `k` strategies.
+    NotEnoughStrategies {
+        /// Number of strategies available.
+        available: usize,
+        /// Cardinality requested.
+        requested: usize,
+    },
+    /// The requested operation needs a fitted model that is missing from the
+    /// model library.
+    MissingModel {
+        /// Identifier of the strategy whose model is missing.
+        strategy: u64,
+    },
+}
+
+impl std::fmt::Display for StratRecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParameterOutOfRange { parameter, value } => {
+                write!(f, "{parameter} = {value} is outside the normalized [0, 1] range")
+            }
+            Self::InvalidDistribution(msg) => write!(f, "invalid availability distribution: {msg}"),
+            Self::ZeroCardinality => write!(f, "cardinality constraint k must be at least 1"),
+            Self::EmptyStrategySet => write!(f, "the strategy set is empty"),
+            Self::NotEnoughStrategies {
+                available,
+                requested,
+            } => write!(
+                f,
+                "only {available} strategies exist but {requested} were requested"
+            ),
+            Self::MissingModel { strategy } => {
+                write!(f, "no fitted model for strategy {strategy}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratRecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(StratRecError, &str)> = vec![
+            (
+                StratRecError::ParameterOutOfRange {
+                    parameter: "quality".into(),
+                    value: 1.5,
+                },
+                "quality",
+            ),
+            (
+                StratRecError::InvalidDistribution("does not sum to 1".into()),
+                "distribution",
+            ),
+            (StratRecError::ZeroCardinality, "cardinality"),
+            (StratRecError::EmptyStrategySet, "empty"),
+            (
+                StratRecError::NotEnoughStrategies {
+                    available: 2,
+                    requested: 5,
+                },
+                "2 strategies",
+            ),
+            (StratRecError::MissingModel { strategy: 7 }, "strategy 7"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                format!("{err}").contains(needle),
+                "message for {err:?} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = StratRecError::ZeroCardinality;
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, StratRecError::EmptyStrategySet);
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's running example (Example 1 / Table 1).
+//!
+//! Three sentence-translation deployment requests and four deployment
+//! strategies, normalized into `[0, 1]`:
+//!
+//! | | Quality | Cost | Latency |
+//! |---|---|---|---|
+//! | d1 | 0.40 | 0.17 | 0.28 |
+//! | d2 | 0.80 | 0.20 | 0.28 |
+//! | d3 | 0.70 | 0.83 | 0.28 |
+//! | s1 = SIM-COL-CRO | 0.50 | 0.25 | 0.28 |
+//! | s2 = SEQ-IND-CRO | 0.75 | 0.33 | 0.28 |
+//! | s3 = SIM-IND-CRO | 0.80 | 0.50 | 0.14 |
+//! | s4 = SIM-IND-HYB | 0.88 | 0.58 | 0.14 |
+//!
+//! With `k = 3` and expected availability `W = 0.8`, only `d3` can be served
+//! (by `{s2, s3, s4}`); `d1` and `d2` are forwarded to ADPaR.
+
+use crate::model::{
+    DeploymentParameters, DeploymentRequest, Organization, Strategy, Structure, Style, TaskType,
+};
+use crate::modeling::{ModelLibrary, StrategyModel};
+
+/// The four strategies of Table 1, in order `s1 … s4`.
+#[must_use]
+pub fn running_example_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::new(
+            1,
+            Structure::Simultaneous,
+            Organization::Collaborative,
+            Style::CrowdOnly,
+            DeploymentParameters::clamped(0.5, 0.25, 0.28),
+        ),
+        Strategy::new(
+            2,
+            Structure::Sequential,
+            Organization::Independent,
+            Style::CrowdOnly,
+            DeploymentParameters::clamped(0.75, 0.33, 0.28),
+        ),
+        Strategy::new(
+            3,
+            Structure::Simultaneous,
+            Organization::Independent,
+            Style::CrowdOnly,
+            DeploymentParameters::clamped(0.8, 0.5, 0.14),
+        ),
+        Strategy::new(
+            4,
+            Structure::Simultaneous,
+            Organization::Independent,
+            Style::Hybrid,
+            DeploymentParameters::clamped(0.88, 0.58, 0.14),
+        ),
+    ]
+}
+
+/// The three deployment requests of Table 1, in order `d1 … d3`.
+#[must_use]
+pub fn running_example_requests() -> Vec<DeploymentRequest> {
+    vec![
+        DeploymentRequest::new(
+            1,
+            TaskType::SentenceTranslation,
+            DeploymentParameters::clamped(0.4, 0.17, 0.28),
+        ),
+        DeploymentRequest::new(
+            2,
+            TaskType::SentenceTranslation,
+            DeploymentParameters::clamped(0.8, 0.2, 0.28),
+        ),
+        DeploymentRequest::new(
+            3,
+            TaskType::SentenceTranslation,
+            DeploymentParameters::clamped(0.7, 0.83, 0.28),
+        ),
+    ]
+}
+
+/// A simple model library for the running example: every strategy shares the
+/// linear model `param = 1.0 · w + 0.0`, i.e. satisfying a quality threshold
+/// `q` needs a workforce fraction of `q` while cost and latency budgets are
+/// met even with no workers. This keeps the worked example self-contained;
+/// real deployments fit per-strategy models from history (§3.1).
+#[must_use]
+pub fn running_example_models() -> ModelLibrary {
+    ModelLibrary::uniform_for(
+        &running_example_strategies(),
+        StrategyModel::uniform(1.0, 0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_values_are_reproduced() {
+        let strategies = running_example_strategies();
+        let requests = running_example_requests();
+        assert_eq!(strategies.len(), 4);
+        assert_eq!(requests.len(), 3);
+        assert_eq!(strategies[0].name(), "SIM-COL-CRO");
+        assert_eq!(strategies[1].name(), "SEQ-IND-CRO");
+        assert_eq!(strategies[2].name(), "SIM-IND-CRO");
+        assert_eq!(strategies[3].name(), "SIM-IND-HYB");
+        assert!((requests[1].params.quality - 0.8).abs() < 1e-12);
+        assert!((strategies[3].params.cost - 0.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_d3_is_satisfiable_directly() {
+        let strategies = running_example_strategies();
+        let requests = running_example_requests();
+        assert!(requests[0].eligible_strategies(&strategies).len() < 3);
+        assert!(requests[1].eligible_strategies(&strategies).len() < 3);
+        assert_eq!(requests[2].eligible_strategies(&strategies).len(), 3);
+    }
+
+    #[test]
+    fn model_library_covers_all_strategies() {
+        let models = running_example_models();
+        for s in running_example_strategies() {
+            assert!(models.get(s.id).is_some());
+        }
+    }
+}

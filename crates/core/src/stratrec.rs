@@ -1,0 +1,226 @@
+//! The StratRec middle layer (paper Figure 1, §2.2).
+//!
+//! [`StratRec`] wires the two modules together: the **Aggregator**
+//! ([`BatchStrat`]) triages a batch of deployment requests against worker
+//! availability and recommends `k` strategies for each satisfied request;
+//! every unsatisfied request is then forwarded, one by one, to **ADPaR**
+//! ([`AdparExact`]) which recommends the closest alternative deployment
+//! parameters for which `k` strategies exist.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adpar::{AdparExact, AdparProblem, AdparSolution, AdparSolver};
+use crate::availability::{AvailabilityPdf, WorkerAvailability};
+use crate::batch::{BatchObjective, BatchOutcome, BatchStrat};
+use crate::error::StratRecError;
+use crate::model::{DeploymentRequest, Strategy};
+use crate::modeling::ModelLibrary;
+use crate::workforce::AggregationMode;
+
+/// Configuration of the middle layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratRecConfig {
+    /// Number of strategies to recommend per request.
+    pub k: usize,
+    /// Platform-centric objective of the Aggregator.
+    pub objective: BatchObjective,
+    /// Workforce aggregation mode over the `k` recommended strategies.
+    pub aggregation: AggregationMode,
+}
+
+impl Default for StratRecConfig {
+    fn default() -> Self {
+        Self {
+            k: 3,
+            objective: BatchObjective::Throughput,
+            aggregation: AggregationMode::Sum,
+        }
+    }
+}
+
+/// The alternative parameters recommended to one unsatisfied request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlternativeRecommendation {
+    /// Index of the request in the input batch.
+    pub request_index: usize,
+    /// The ADPaR solution, or the error explaining why none exists (e.g. the
+    /// platform has fewer than `k` strategies in total).
+    pub solution: Result<AdparSolution, StratRecError>,
+}
+
+/// The full report produced for one batch of deployment requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratRecReport {
+    /// Expected worker availability the batch was planned with.
+    pub availability: WorkerAvailability,
+    /// Outcome of the Aggregator (satisfied requests and their strategies).
+    pub batch: BatchOutcome,
+    /// Alternative parameters for every unsatisfied request, in the order of
+    /// [`BatchOutcome::unsatisfied`].
+    pub alternatives: Vec<AlternativeRecommendation>,
+}
+
+impl StratRecReport {
+    /// Number of requests that received either direct recommendations or a
+    /// feasible alternative.
+    #[must_use]
+    pub fn served_requests(&self) -> usize {
+        self.batch.satisfied.len()
+            + self
+                .alternatives
+                .iter()
+                .filter(|a| a.solution.is_ok())
+                .count()
+    }
+}
+
+/// The optimization-driven middle layer between requesters, workers and the
+/// platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StratRec {
+    /// Middle-layer configuration.
+    pub config: StratRecConfig,
+}
+
+impl StratRec {
+    /// Creates a middle layer with the given configuration.
+    #[must_use]
+    pub fn new(config: StratRecConfig) -> Self {
+        Self { config }
+    }
+
+    /// Processes a batch of deployment requests: estimates availability from
+    /// the pdf, runs the Aggregator, and sends every unsatisfied request to
+    /// ADPaR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a strategy has no fitted
+    /// model in `models`.
+    pub fn process_batch(
+        &self,
+        requests: &[DeploymentRequest],
+        strategies: &[Strategy],
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+    ) -> Result<StratRecReport, StratRecError> {
+        let expected = availability.expectation();
+        let engine = BatchStrat::new(self.config.objective, self.config.aggregation);
+        let batch = engine.recommend_with_models(
+            requests,
+            strategies,
+            models,
+            self.config.k,
+            expected,
+        )?;
+        let adpar = AdparExact;
+        let alternatives = batch
+            .unsatisfied
+            .iter()
+            .map(|&idx| AlternativeRecommendation {
+                request_index: idx,
+                solution: adpar.solve(&AdparProblem::new(&requests[idx], strategies, self.config.k)),
+            })
+            .collect();
+        Ok(StratRecReport {
+            availability: expected,
+            batch,
+            alternatives,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdf(w: f64) -> AvailabilityPdf {
+        AvailabilityPdf::certain(w)
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let models = crate::examples_data::running_example_models();
+        let layer = StratRec::new(StratRecConfig {
+            k: 3,
+            objective: BatchObjective::Throughput,
+            aggregation: AggregationMode::Max,
+        });
+        let report = layer
+            .process_batch(&requests, &strategies, &models, &pdf(0.8))
+            .unwrap();
+        assert!((report.availability.value() - 0.8).abs() < 1e-12);
+        assert_eq!(report.batch.satisfied.len(), 1);
+        assert_eq!(report.batch.satisfied[0].request_index, 2);
+        assert_eq!(report.alternatives.len(), 2);
+        // Both unsatisfied requests obtain feasible alternative parameters.
+        assert!(report.alternatives.iter().all(|a| a.solution.is_ok()));
+        assert_eq!(report.served_requests(), 3);
+        // d1's alternative matches the paper: (0.4, 0.5, 0.28).
+        let d1 = report
+            .alternatives
+            .iter()
+            .find(|a| a.request_index == 0)
+            .unwrap();
+        let solution = d1.solution.as_ref().unwrap();
+        assert!((solution.alternative.cost - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_config_is_reasonable() {
+        let config = StratRecConfig::default();
+        assert_eq!(config.k, 3);
+        assert_eq!(config.objective, BatchObjective::Throughput);
+        assert_eq!(config.aggregation, AggregationMode::Sum);
+    }
+
+    #[test]
+    fn k_larger_than_strategy_count_yields_errors_in_alternatives() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let models = crate::examples_data::running_example_models();
+        let layer = StratRec::new(StratRecConfig {
+            k: 10,
+            ..StratRecConfig::default()
+        });
+        let report = layer
+            .process_batch(&requests, &strategies, &models, &pdf(0.9))
+            .unwrap();
+        assert!(report.batch.satisfied.is_empty());
+        assert_eq!(report.alternatives.len(), 3);
+        assert!(report
+            .alternatives
+            .iter()
+            .all(|a| matches!(a.solution, Err(StratRecError::NotEnoughStrategies { .. }))));
+        assert_eq!(report.served_requests(), 0);
+    }
+
+    #[test]
+    fn missing_models_propagate() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let layer = StratRec::default();
+        assert!(layer
+            .process_batch(&requests, &strategies, &ModelLibrary::new(), &pdf(0.5))
+            .is_err());
+    }
+
+    #[test]
+    fn zero_availability_pushes_everything_to_adpar() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let models = crate::examples_data::running_example_models();
+        let layer = StratRec::new(StratRecConfig {
+            k: 3,
+            objective: BatchObjective::Payoff,
+            aggregation: AggregationMode::Max,
+        });
+        let report = layer
+            .process_batch(&requests, &strategies, &models, &pdf(0.0))
+            .unwrap();
+        assert!(report.batch.satisfied.is_empty());
+        assert_eq!(report.alternatives.len(), 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! Workforce-requirement computation (paper §3.2).
+//!
+//! Given `m` deployment requests and `|S|` strategies, the Aggregator builds
+//! the matrix `W` whose cell `w_ij` is the minimum workforce needed to
+//! deploy request `d_i` with strategy `s_j` (the maximum over the three
+//! per-parameter requirements obtained by inverting the linear model of
+//! Equation 4). The per-request requirement is then aggregated over the `k`
+//! cheapest strategies, either as their sum (*sum-case*: the requester will
+//! run all `k` recommended strategies) or as the `k`-th smallest value
+//! (*max-case*: only one of the `k` will be run).
+
+use serde::{Deserialize, Serialize};
+use stratrec_optim::topk;
+
+use crate::error::StratRecError;
+use crate::model::{DeploymentRequest, Strategy};
+use crate::modeling::ModelLibrary;
+
+/// How the workforce requirement of the `k` recommended strategies is
+/// aggregated into a single per-request requirement (paper §3.2, step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// The requester intends to run **all** `k` strategies: the requirement
+    /// is the sum of the `k` smallest cells of the request's row.
+    #[default]
+    Sum,
+    /// The requester will run **one** of the `k` strategies: the requirement
+    /// is the `k`-th smallest cell of the request's row.
+    Max,
+}
+
+/// How a strategy's basic eligibility for a request is decided before any
+/// workforce consideration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EligibilityRule {
+    /// A strategy is eligible only when its estimated parameters satisfy the
+    /// request's thresholds (`s.quality ≥ d.quality`, `s.cost ≤ d.cost`,
+    /// `s.latency ≤ d.latency`) — the rule used throughout the paper's
+    /// examples and synthetic experiments.
+    #[default]
+    StrategyParameters,
+    /// Every strategy is eligible; feasibility is decided purely by whether
+    /// the model inversion yields a finite workforce requirement. Useful when
+    /// strategy parameter estimates are unavailable and only models exist.
+    ModelOnly,
+}
+
+/// The workforce requirement of one deployment request: which `k` strategies
+/// are recommended and how much of the worker pool they need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRequirement {
+    /// Index of the request in the input batch.
+    pub request_index: usize,
+    /// Indices of the `k` recommended strategies, cheapest first.
+    pub strategy_indices: Vec<usize>,
+    /// Aggregated workforce requirement in `[0, 1]` (fraction of the suitable
+    /// worker pool).
+    pub workforce: f64,
+}
+
+/// The `m × |S|` workforce-requirement matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkforceMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major cells; `f64::INFINITY` marks an infeasible (request,
+    /// strategy) pair.
+    cells: Vec<f64>,
+}
+
+impl WorkforceMatrix {
+    /// Computes the matrix for a batch of requests against a strategy set,
+    /// consulting `models` for the per-strategy linear models and using the
+    /// default [`EligibilityRule::StrategyParameters`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a strategy has no fitted
+    /// model in `models`.
+    pub fn compute(
+        requests: &[DeploymentRequest],
+        strategies: &[Strategy],
+        models: &ModelLibrary,
+    ) -> Result<Self, StratRecError> {
+        Self::compute_with_rule(requests, strategies, models, EligibilityRule::default())
+    }
+
+    /// Computes the matrix with an explicit eligibility rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a strategy has no fitted
+    /// model in `models`.
+    pub fn compute_with_rule(
+        requests: &[DeploymentRequest],
+        strategies: &[Strategy],
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+    ) -> Result<Self, StratRecError> {
+        let mut cells = Vec::with_capacity(requests.len() * strategies.len());
+        for request in requests {
+            for strategy in strategies {
+                let model = models.require(strategy.id)?;
+                let eligible = match rule {
+                    EligibilityRule::StrategyParameters => strategy.satisfies(request),
+                    EligibilityRule::ModelOnly => true,
+                };
+                let cell = if eligible {
+                    model.required_workforce(&request.params)
+                } else {
+                    f64::INFINITY
+                };
+                cells.push(cell);
+            }
+        }
+        Ok(Self {
+            rows: requests.len(),
+            cols: strategies.len(),
+            cells,
+        })
+    }
+
+    /// Builds a matrix directly from row-major cells (used in tests and by
+    /// callers that estimate requirements through other means).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells.len() != rows * cols`.
+    #[must_use]
+    pub fn from_cells(rows: usize, cols: usize, cells: Vec<f64>) -> Self {
+        assert_eq!(cells.len(), rows * cols, "cell count must equal rows*cols");
+        Self { rows, cols, cells }
+    }
+
+    /// Number of requests (rows).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of strategies (columns).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The workforce requirement of deploying request `i` with strategy `j`.
+    #[must_use]
+    pub fn get(&self, request: usize, strategy: usize) -> f64 {
+        self.cells[request * self.cols + strategy]
+    }
+
+    /// The full row of request `i`.
+    #[must_use]
+    pub fn row(&self, request: usize) -> &[f64] {
+        &self.cells[request * self.cols..(request + 1) * self.cols]
+    }
+
+    /// Aggregates each row into a per-request requirement over the `k`
+    /// cheapest strategies (paper §3.2 step 2, the vector `~W`).
+    ///
+    /// Requests with fewer than `k` feasible strategies yield `None`: no
+    /// amount of workforce lets the platform recommend `k` strategies, so the
+    /// request must go to ADPaR.
+    #[must_use]
+    pub fn aggregate(&self, k: usize, mode: AggregationMode) -> Vec<Option<RequestRequirement>> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let strategy_indices = topk::k_smallest_indices(row, k);
+                if strategy_indices.len() < k || k == 0 {
+                    return None;
+                }
+                let workforce = match mode {
+                    AggregationMode::Sum => strategy_indices.iter().map(|&j| row[j]).sum(),
+                    AggregationMode::Max => row[*strategy_indices
+                        .last()
+                        .expect("k >= 1 so the selection is non-empty")],
+                };
+                Some(RequestRequirement {
+                    request_index: i,
+                    strategy_indices,
+                    workforce,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::WorkerAvailability;
+    use crate::model::{DeploymentParameters, TaskType};
+    use crate::modeling::StrategyModel;
+
+    fn request(id: u64, q: f64, c: f64, l: f64) -> DeploymentRequest {
+        DeploymentRequest::new(
+            id,
+            TaskType::SentenceTranslation,
+            DeploymentParameters::new(q, c, l).unwrap(),
+        )
+    }
+
+    fn example_setup() -> (Vec<DeploymentRequest>, Vec<Strategy>, ModelLibrary) {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let models = crate::examples_data::running_example_models();
+        (requests, strategies, models)
+    }
+
+    #[test]
+    fn matrix_shape_and_cells() {
+        let (requests, strategies, models) = example_setup();
+        let matrix = WorkforceMatrix::compute(&requests, &strategies, &models).unwrap();
+        assert_eq!(matrix.rows(), 3);
+        assert_eq!(matrix.cols(), 4);
+        assert_eq!(matrix.row(0).len(), 4);
+        // d1 and d2 have no eligible strategies: whole rows are infinite.
+        assert!(matrix.row(0).iter().all(|w| w.is_infinite()));
+        assert!(matrix.row(1).iter().all(|w| w.is_infinite()));
+        // d3 can use s2, s3, s4 with finite workforce; s1 is ineligible.
+        assert!(matrix.get(2, 0).is_infinite());
+        for j in 1..4 {
+            assert!(matrix.get(2, j).is_finite());
+            assert!(matrix.get(2, j) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn model_only_rule_ignores_strategy_parameters() {
+        let (requests, strategies, models) = example_setup();
+        let matrix = WorkforceMatrix::compute_with_rule(
+            &requests,
+            &strategies,
+            &models,
+            EligibilityRule::ModelOnly,
+        )
+        .unwrap();
+        // With the uniform synthetic model every cell is finite.
+        for i in 0..matrix.rows() {
+            for j in 0..matrix.cols() {
+                assert!(matrix.get(i, j).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        let (requests, strategies, _) = example_setup();
+        let empty = ModelLibrary::new();
+        assert!(matches!(
+            WorkforceMatrix::compute(&requests, &strategies, &empty),
+            Err(StratRecError::MissingModel { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_and_max_aggregation_differ_as_expected() {
+        // One request, four strategies with known requirements.
+        let matrix = WorkforceMatrix::from_cells(1, 4, vec![0.4, 0.1, 0.3, 0.2]);
+        let sum = matrix.aggregate(3, AggregationMode::Sum);
+        let max = matrix.aggregate(3, AggregationMode::Max);
+        let sum = sum[0].as_ref().unwrap();
+        let max = max[0].as_ref().unwrap();
+        assert_eq!(sum.strategy_indices, vec![1, 3, 2]);
+        assert!((sum.workforce - 0.6).abs() < 1e-12);
+        assert_eq!(max.strategy_indices, vec![1, 3, 2]);
+        assert!((max.workforce - 0.3).abs() < 1e-12);
+        assert!(max.workforce <= sum.workforce);
+    }
+
+    #[test]
+    fn infeasible_rows_aggregate_to_none() {
+        let matrix = WorkforceMatrix::from_cells(
+            2,
+            3,
+            vec![
+                0.2,
+                f64::INFINITY,
+                f64::INFINITY, // only one feasible strategy
+                0.1,
+                0.2,
+                0.3, // fully feasible
+            ],
+        );
+        let agg = matrix.aggregate(2, AggregationMode::Sum);
+        assert!(agg[0].is_none());
+        let r1 = agg[1].as_ref().unwrap();
+        assert_eq!(r1.request_index, 1);
+        assert_eq!(r1.strategy_indices, vec![0, 1]);
+        assert!((r1.workforce - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_zero_aggregates_to_none() {
+        let matrix = WorkforceMatrix::from_cells(1, 2, vec![0.1, 0.2]);
+        assert!(matrix.aggregate(0, AggregationMode::Sum)[0].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn from_cells_validates_dimensions() {
+        let _ = WorkforceMatrix::from_cells(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn running_example_d3_is_deployable_within_availability() {
+        let (requests, strategies, models) = example_setup();
+        let matrix = WorkforceMatrix::compute(&requests, &strategies, &models).unwrap();
+        let agg = matrix.aggregate(3, AggregationMode::Max);
+        // d3 gets exactly {s2, s3, s4} (indices 1, 2, 3) and fits in W = 0.8.
+        let d3 = agg[2].as_ref().unwrap();
+        let mut sorted = d3.strategy_indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+        assert!(d3.workforce <= WorkerAvailability::new(0.8).unwrap().value());
+        assert!(agg[0].is_none());
+        assert!(agg[1].is_none());
+    }
+
+    #[test]
+    fn eligibility_uses_request_thresholds() {
+        // A request satisfied by exactly one strategy.
+        let strategies = vec![
+            Strategy::from_params(0, DeploymentParameters::new(0.9, 0.1, 0.1).unwrap()),
+            Strategy::from_params(1, DeploymentParameters::new(0.3, 0.1, 0.1).unwrap()),
+        ];
+        let models = ModelLibrary::uniform_for(&strategies, StrategyModel::uniform(1.0, 0.0));
+        let requests = vec![request(0, 0.8, 0.5, 0.5)];
+        let matrix = WorkforceMatrix::compute(&requests, &strategies, &models).unwrap();
+        assert!(matrix.get(0, 0).is_finite());
+        assert!(matrix.get(0, 1).is_infinite());
+    }
+}

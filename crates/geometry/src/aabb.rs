@@ -1,0 +1,229 @@
+//! Axis-aligned bounding boxes in 3-D.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Axis, Point3};
+
+/// An axis-aligned box defined by its component-wise minimum and maximum
+/// corners. In StratRec a deployment request (after normalization) is the box
+/// `[0, d.quality] × [0, d.cost] × [0, d.latency]`, i.e. an origin-anchored
+/// box whose *top-right corner* is the request's parameter point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb3 {
+    /// Component-wise minimum corner.
+    pub min: Point3,
+    /// Component-wise maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb3 {
+    /// Creates a box from two corners; the corners are re-ordered
+    /// component-wise so the result is always well-formed.
+    #[must_use]
+    pub fn new(a: Point3, b: Point3) -> Self {
+        Self {
+            min: a.component_min(&b),
+            max: a.component_max(&b),
+        }
+    }
+
+    /// The origin-anchored box whose top-right corner is `corner` — the shape
+    /// of a normalized deployment request.
+    #[must_use]
+    pub fn anchored_at_origin(corner: Point3) -> Self {
+        Self::new(Point3::origin(), corner)
+    }
+
+    /// The degenerate box containing exactly one point.
+    #[must_use]
+    pub fn from_point(p: Point3) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// The smallest box containing all `points`. Returns `None` for an empty
+    /// slice.
+    #[must_use]
+    pub fn bounding(points: &[Point3]) -> Option<Self> {
+        let (first, rest) = points.split_first()?;
+        let mut aabb = Self::from_point(*first);
+        for p in rest {
+            aabb = aabb.expanded_to_include(*p);
+        }
+        Some(aabb)
+    }
+
+    /// The top-right (component-wise maximum) corner of the box.
+    #[must_use]
+    pub fn top_right(&self) -> Point3 {
+        self.max
+    }
+
+    /// Whether `p` lies inside the box (inclusive, within `eps`).
+    #[must_use]
+    pub fn contains(&self, p: &Point3, eps: f64) -> bool {
+        p.x >= self.min.x - eps
+            && p.x <= self.max.x + eps
+            && p.y >= self.min.y - eps
+            && p.y <= self.max.y + eps
+            && p.z >= self.min.z - eps
+            && p.z <= self.max.z + eps
+    }
+
+    /// Whether two boxes intersect (inclusive boundaries).
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+            && self.min.z <= other.max.z
+            && other.min.z <= self.max.z
+    }
+
+    /// Smallest box containing both boxes.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.component_min(&other.min),
+            max: self.max.component_max(&other.max),
+        }
+    }
+
+    /// Returns the box grown just enough to include `p`.
+    #[must_use]
+    pub fn expanded_to_include(&self, p: Point3) -> Self {
+        Self {
+            min: self.min.component_min(&p),
+            max: self.max.component_max(&p),
+        }
+    }
+
+    /// Extent of the box along one axis.
+    #[must_use]
+    pub fn extent(&self, axis: Axis) -> f64 {
+        self.max.coord(axis) - self.min.coord(axis)
+    }
+
+    /// Volume of the box (product of the three extents).
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.extent(Axis::X) * self.extent(Axis::Y) * self.extent(Axis::Z)
+    }
+
+    /// Surface-area style margin (sum of extents) used by R-tree split
+    /// heuristics.
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.extent(Axis::X) + self.extent(Axis::Y) + self.extent(Axis::Z)
+    }
+
+    /// The centre point of the box.
+    #[must_use]
+    pub fn center(&self) -> Point3 {
+        Point3::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+            0.5 * (self.min.z + self.max.z),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_are_reordered() {
+        let b = Aabb3::new(Point3::new(1.0, 0.0, 5.0), Point3::new(0.0, 2.0, 3.0));
+        assert_eq!(b.min, Point3::new(0.0, 0.0, 3.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn origin_anchored_box_models_a_request() {
+        let request = Point3::new(0.6, 0.2, 0.28);
+        let b = Aabb3::anchored_at_origin(request);
+        assert!(b.contains(&Point3::new(0.5, 0.1, 0.28), 1e-12));
+        assert!(!b.contains(&Point3::new(0.7, 0.1, 0.28), 1e-12));
+        assert_eq!(b.top_right(), request);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let points = [
+            Point3::new(0.5, 0.25, 0.28),
+            Point3::new(0.25, 0.33, 0.28),
+            Point3::new(0.2, 0.5, 0.14),
+        ];
+        let b = Aabb3::bounding(&points).unwrap();
+        assert_eq!(b.min, Point3::new(0.2, 0.25, 0.14));
+        assert_eq!(b.max, Point3::new(0.5, 0.5, 0.28));
+        assert!(Aabb3::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn volume_margin_center_and_extent() {
+        let b = Aabb3::new(Point3::origin(), Point3::new(2.0, 3.0, 4.0));
+        assert!((b.volume() - 24.0).abs() < 1e-12);
+        assert!((b.margin() - 9.0).abs() < 1e-12);
+        assert_eq!(b.center(), Point3::new(1.0, 1.5, 2.0));
+        assert!((b.extent(Axis::Y) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Aabb3::new(Point3::origin(), Point3::new(1.0, 1.0, 1.0));
+        let b = Aabb3::new(Point3::new(0.5, 0.5, 0.5), Point3::new(2.0, 2.0, 2.0));
+        let c = Aabb3::new(Point3::new(3.0, 3.0, 3.0), Point3::new(4.0, 4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u.min, Point3::origin());
+        assert_eq!(u.max, Point3::new(4.0, 4.0, 4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both_boxes(
+            coords in proptest::collection::vec(0.0_f64..1.0, 12..=12),
+        ) {
+            let a = Aabb3::new(
+                Point3::new(coords[0], coords[1], coords[2]),
+                Point3::new(coords[3], coords[4], coords[5]),
+            );
+            let b = Aabb3::new(
+                Point3::new(coords[6], coords[7], coords[8]),
+                Point3::new(coords[9], coords[10], coords[11]),
+            );
+            let u = a.union(&b);
+            prop_assert!(u.contains(&a.min, 1e-12) && u.contains(&a.max, 1e-12));
+            prop_assert!(u.contains(&b.min, 1e-12) && u.contains(&b.max, 1e-12));
+            prop_assert!(u.volume() + 1e-12 >= a.volume().max(b.volume()));
+        }
+
+        #[test]
+        fn bounding_box_contains_all_points(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 1..32),
+        ) {
+            let points: Vec<Point3> = raw.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+            let b = Aabb3::bounding(&points).unwrap();
+            for p in &points {
+                prop_assert!(b.contains(p, 1e-12));
+            }
+        }
+
+        #[test]
+        fn expanded_box_contains_new_point(
+            bx in 0.0_f64..1.0, by in 0.0_f64..1.0, bz in 0.0_f64..1.0,
+            px in -1.0_f64..2.0, py in -1.0_f64..2.0, pz in -1.0_f64..2.0,
+        ) {
+            let b = Aabb3::anchored_at_origin(Point3::new(bx, by, bz));
+            let p = Point3::new(px, py, pz);
+            let e = b.expanded_to_include(p);
+            prop_assert!(e.contains(&p, 1e-12));
+            prop_assert!(e.contains(&b.min, 1e-12) && e.contains(&b.max, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Computational-geometry substrate for StratRec.
+//!
+//! The ADPaR problem of the paper is solved geometrically: after
+//! normalization every deployment strategy is a point in a 3-dimensional
+//! parameter space (quality, cost, latency) and an alternative deployment
+//! parameter is the corner of an axis-parallel box that must *cover* at least
+//! `k` strategy points while staying as close as possible to the original
+//! request. `ADPaR-Exact` sweeps discretized candidate planes through this
+//! space, and the paper's `Baseline3` indexes the strategy points with an
+//! R-tree and returns minimum-bounding-box corners.
+//!
+//! This crate provides those geometric building blocks with no knowledge of
+//! crowdsourcing semantics:
+//!
+//! * [`point::Point3`] — points with dominance/coverage tests and distances.
+//! * [`aabb::Aabb3`] — axis-aligned boxes with containment, union, expansion.
+//! * [`sweep`] — sorted sweep-line event lists over one coordinate.
+//! * [`rtree`] — a bulk-loaded (STR) R-tree over 3-D points supporting range
+//!   counting, range reporting and bounding-box traversal.
+
+#![forbid(unsafe_code)]
+
+pub mod aabb;
+pub mod point;
+pub mod rtree;
+pub mod sweep;
+
+pub use aabb::Aabb3;
+pub use point::{Axis, Point3};
+pub use rtree::RTree;
+pub use sweep::{SweepEvent, SweepList};

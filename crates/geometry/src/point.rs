@@ -1,0 +1,254 @@
+//! Points in the 3-dimensional deployment-parameter space.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three coordinate axes of the parameter space.
+///
+/// In StratRec the axes carry the meaning *quality* (after the
+/// `1 − quality` inversion), *cost* and *latency*, but this crate treats them
+/// as anonymous coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// First coordinate.
+    X,
+    /// Second coordinate.
+    Y,
+    /// Third coordinate.
+    Z,
+}
+
+impl Axis {
+    /// All three axes, in order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// The index of the axis (0, 1 or 2).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+}
+
+/// A point in 3-D space.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// First coordinate.
+    pub x: f64,
+    /// Second coordinate.
+    pub y: f64,
+    /// Third coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from its three coordinates.
+    #[must_use]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The origin `(0, 0, 0)`.
+    #[must_use]
+    pub fn origin() -> Self {
+        Self::default()
+    }
+
+    /// Returns the coordinate along the given axis.
+    #[must_use]
+    pub fn coord(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Returns a copy with the coordinate along `axis` replaced by `value`.
+    #[must_use]
+    pub fn with_coord(mut self, axis: Axis, value: f64) -> Self {
+        match axis {
+            Axis::X => self.x = value,
+            Axis::Y => self.y = value,
+            Axis::Z => self.z = value,
+        }
+        self
+    }
+
+    /// The coordinates as an array `[x, y, z]`.
+    #[must_use]
+    pub fn to_array(&self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Component-wise minimum of two points.
+    #[must_use]
+    pub fn component_min(&self, other: &Self) -> Self {
+        Self::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
+    }
+
+    /// Component-wise maximum of two points.
+    #[must_use]
+    pub fn component_max(&self, other: &Self) -> Self {
+        Self::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
+    }
+
+    /// Euclidean (ℓ2) distance to another point. This is the objective of
+    /// the ADPaR problem (Equation 3 of the paper).
+    #[must_use]
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.squared_distance(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    #[must_use]
+    pub fn squared_distance(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Whether this point is *covered by* `bound`, i.e. every coordinate of
+    /// `self` is ≤ the corresponding coordinate of `bound` (within `eps`).
+    ///
+    /// After StratRec's normalization (smaller is better on every axis) a
+    /// strategy point is admissible for a deployment exactly when it is
+    /// covered by the deployment's parameter point.
+    #[must_use]
+    pub fn is_covered_by(&self, bound: &Self, eps: f64) -> bool {
+        self.x <= bound.x + eps && self.y <= bound.y + eps && self.z <= bound.z + eps
+    }
+
+    /// Whether this point dominates `other` in the Pareto sense: no
+    /// coordinate is larger and at least one is strictly smaller.
+    #[must_use]
+    pub fn dominates(&self, other: &Self, eps: f64) -> bool {
+        let no_worse =
+            self.x <= other.x + eps && self.y <= other.y + eps && self.z <= other.z + eps;
+        let strictly_better =
+            self.x < other.x - eps || self.y < other.y - eps || self.z < other.z - eps;
+        no_worse && strictly_better
+    }
+
+    /// Whether all coordinates are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl From<[f64; 3]> for Point3 {
+    fn from(a: [f64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Point3> for [f64; 3] {
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coordinates_round_trip_through_axes() {
+        let p = Point3::new(0.1, 0.2, 0.3);
+        assert_eq!(p.coord(Axis::X), 0.1);
+        assert_eq!(p.coord(Axis::Y), 0.2);
+        assert_eq!(p.coord(Axis::Z), 0.3);
+        let q = p.with_coord(Axis::Y, 0.9);
+        assert_eq!(q.coord(Axis::Y), 0.9);
+        assert_eq!(q.coord(Axis::X), 0.1);
+        assert_eq!(Axis::Z.index(), 2);
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 2.0, 2.0);
+        assert!((a.distance(&b) - 3.0).abs() < 1e-12);
+        assert!((a.squared_distance(&b) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_componentwise() {
+        let strategy = Point3::new(0.5, 0.25, 0.28);
+        let request = Point3::new(0.6, 0.83, 0.28);
+        assert!(strategy.is_covered_by(&request, 1e-9));
+        assert!(!request.is_covered_by(&strategy, 1e-9));
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = Point3::new(0.2, 0.2, 0.2);
+        let b = Point3::new(0.2, 0.2, 0.2);
+        assert!(!a.dominates(&b, 1e-9));
+        let c = Point3::new(0.2, 0.1, 0.2);
+        assert!(c.dominates(&a, 1e-9));
+        assert!(!a.dominates(&c, 1e-9));
+    }
+
+    #[test]
+    fn min_max_and_conversions() {
+        let a = Point3::new(0.1, 0.9, 0.5);
+        let b = Point3::new(0.3, 0.2, 0.6);
+        assert_eq!(a.component_min(&b), Point3::new(0.1, 0.2, 0.5));
+        assert_eq!(a.component_max(&b), Point3::new(0.3, 0.9, 0.6));
+        let arr: [f64; 3] = a.into();
+        assert_eq!(Point3::from(arr), a);
+        assert!(a.is_finite());
+        assert!(!Point3::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric_and_nonnegative(
+            ax in -10.0_f64..10.0, ay in -10.0_f64..10.0, az in -10.0_f64..10.0,
+            bx in -10.0_f64..10.0, by in -10.0_f64..10.0, bz in -10.0_f64..10.0,
+        ) {
+            let a = Point3::new(ax, ay, az);
+            let b = Point3::new(bx, by, bz);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+            prop_assert!(a.distance(&b) >= 0.0);
+            prop_assert!(a.distance(&a) < 1e-12);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            coords in proptest::collection::vec(-5.0_f64..5.0, 9..=9),
+        ) {
+            let a = Point3::new(coords[0], coords[1], coords[2]);
+            let b = Point3::new(coords[3], coords[4], coords[5]);
+            let c = Point3::new(coords[6], coords[7], coords[8]);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn component_max_covers_both_points(
+            ax in 0.0_f64..1.0, ay in 0.0_f64..1.0, az in 0.0_f64..1.0,
+            bx in 0.0_f64..1.0, by in 0.0_f64..1.0, bz in 0.0_f64..1.0,
+        ) {
+            let a = Point3::new(ax, ay, az);
+            let b = Point3::new(bx, by, bz);
+            let m = a.component_max(&b);
+            prop_assert!(a.is_covered_by(&m, 1e-12));
+            prop_assert!(b.is_covered_by(&m, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! A bulk-loaded R-tree over 3-D points.
+//!
+//! The paper's `Baseline3` for the ADPaR problem "is designed by modifying
+//! [the] space partitioning data structure R-Tree … We treat each strategy['s]
+//! parameters as a point in a 3-D space and index them using an R-Tree. Then,
+//! it scans the tree to find if there is a minimum bounding box (MBB) that
+//! exactly contains k strategies" (§5.2.1). This module provides that index:
+//! a Sort-Tile-Recursive (STR) bulk-loaded R-tree whose nodes expose their
+//! MBBs, plus range counting / reporting used elsewhere for verification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb3;
+use crate::point::{Axis, Point3};
+
+/// Default maximum number of entries per node.
+pub const DEFAULT_NODE_CAPACITY: usize = 8;
+
+/// A node of the R-tree together with its minimum bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Minimum bounding box of everything below this node.
+    pub mbb: Aabb3,
+    /// Children of the node.
+    pub content: NodeContent,
+}
+
+/// Children of a node: either nested nodes or indexed leaf points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeContent {
+    /// An internal node holding child nodes.
+    Internal(Vec<Node>),
+    /// A leaf holding `(original index, point)` entries.
+    Leaf(Vec<(usize, Point3)>),
+}
+
+/// An R-tree over a fixed set of points, bulk-loaded with the STR algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+    node_capacity: usize,
+}
+
+impl RTree {
+    /// Bulk-loads a tree from `points` with the default node capacity.
+    #[must_use]
+    pub fn bulk_load(points: &[Point3]) -> Self {
+        Self::bulk_load_with_capacity(points, DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Bulk-loads a tree with an explicit node capacity (minimum 2).
+    #[must_use]
+    pub fn bulk_load_with_capacity(points: &[Point3], node_capacity: usize) -> Self {
+        let node_capacity = node_capacity.max(2);
+        let entries: Vec<(usize, Point3)> = points.iter().copied().enumerate().collect();
+        let root = if entries.is_empty() {
+            None
+        } else {
+            Some(build_str(entries, node_capacity))
+        };
+        Self {
+            root,
+            len: points.len(),
+            node_capacity,
+        }
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node capacity the tree was built with.
+    #[must_use]
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+
+    /// The root node, if the tree is non-empty.
+    #[must_use]
+    pub fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+
+    /// Counts the indexed points contained in `query` (inclusive bounds).
+    #[must_use]
+    pub fn count_in_box(&self, query: &Aabb3) -> usize {
+        let mut count = 0;
+        if let Some(root) = &self.root {
+            count_in(root, query, &mut count);
+        }
+        count
+    }
+
+    /// Reports the original indices of the points contained in `query`,
+    /// sorted ascending.
+    #[must_use]
+    pub fn query_box(&self, query: &Aabb3) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_in(root, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Visits every node of the tree (pre-order), calling `visit` with the
+    /// node and its depth. Used by `Baseline3` to scan MBBs.
+    pub fn visit_nodes<F: FnMut(&Node, usize)>(&self, mut visit: F) {
+        if let Some(root) = &self.root {
+            visit_rec(root, 0, &mut visit);
+        }
+    }
+
+    /// Returns every node MBB together with the number of points below it,
+    /// in pre-order. This is the "scan the tree" primitive of `Baseline3`.
+    #[must_use]
+    pub fn node_summaries(&self) -> Vec<(Aabb3, usize)> {
+        let mut out = Vec::new();
+        self.visit_nodes(|node, _| {
+            out.push((node.mbb, count_points(node)));
+        });
+        out
+    }
+}
+
+fn visit_rec<F: FnMut(&Node, usize)>(node: &Node, depth: usize, visit: &mut F) {
+    visit(node, depth);
+    if let NodeContent::Internal(children) = &node.content {
+        for child in children {
+            visit_rec(child, depth + 1, visit);
+        }
+    }
+}
+
+fn count_points(node: &Node) -> usize {
+    match &node.content {
+        NodeContent::Leaf(entries) => entries.len(),
+        NodeContent::Internal(children) => children.iter().map(count_points).sum(),
+    }
+}
+
+fn count_in(node: &Node, query: &Aabb3, count: &mut usize) {
+    if !node.mbb.intersects(query) {
+        return;
+    }
+    match &node.content {
+        NodeContent::Leaf(entries) => {
+            *count += entries
+                .iter()
+                .filter(|(_, p)| query.contains(p, 0.0))
+                .count();
+        }
+        NodeContent::Internal(children) => {
+            for child in children {
+                count_in(child, query, count);
+            }
+        }
+    }
+}
+
+fn collect_in(node: &Node, query: &Aabb3, out: &mut Vec<usize>) {
+    if !node.mbb.intersects(query) {
+        return;
+    }
+    match &node.content {
+        NodeContent::Leaf(entries) => {
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|(_, p)| query.contains(p, 0.0))
+                    .map(|(i, _)| *i),
+            );
+        }
+        NodeContent::Internal(children) => {
+            for child in children {
+                collect_in(child, query, out);
+            }
+        }
+    }
+}
+
+/// Builds the tree bottom-up with Sort-Tile-Recursive packing: sort by x,
+/// partition into vertical slabs, sort each slab by y, partition again, sort
+/// by z and cut into leaves; then recursively pack the resulting nodes.
+fn build_str(mut entries: Vec<(usize, Point3)>, capacity: usize) -> Node {
+    if entries.len() <= capacity {
+        let mbb = Aabb3::bounding(&entries.iter().map(|(_, p)| *p).collect::<Vec<_>>())
+            .expect("non-empty entries");
+        return Node {
+            mbb,
+            content: NodeContent::Leaf(entries),
+        };
+    }
+
+    let leaf_count = entries.len().div_ceil(capacity);
+    let slab_count = (leaf_count as f64).cbrt().ceil() as usize;
+    let slab_count = slab_count.max(1);
+
+    entries.sort_by(|a, b| a.1.coord(Axis::X).total_cmp(&b.1.coord(Axis::X)));
+    let per_slab = entries.len().div_ceil(slab_count);
+
+    let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+    for slab in entries.chunks(per_slab.max(1)) {
+        let mut slab: Vec<(usize, Point3)> = slab.to_vec();
+        slab.sort_by(|a, b| a.1.coord(Axis::Y).total_cmp(&b.1.coord(Axis::Y)));
+        let runs = slab.len().div_ceil(capacity);
+        let run_count = (runs as f64).sqrt().ceil() as usize;
+        let per_run = slab.len().div_ceil(run_count.max(1));
+        for run in slab.chunks(per_run.max(1)) {
+            let mut run: Vec<(usize, Point3)> = run.to_vec();
+            run.sort_by(|a, b| a.1.coord(Axis::Z).total_cmp(&b.1.coord(Axis::Z)));
+            for chunk in run.chunks(capacity) {
+                let points: Vec<Point3> = chunk.iter().map(|(_, p)| *p).collect();
+                let mbb = Aabb3::bounding(&points).expect("non-empty chunk");
+                leaves.push(Node {
+                    mbb,
+                    content: NodeContent::Leaf(chunk.to_vec()),
+                });
+            }
+        }
+    }
+
+    pack_upwards(leaves, capacity)
+}
+
+/// Packs a level of nodes into parent nodes until a single root remains.
+fn pack_upwards(mut level: Vec<Node>, capacity: usize) -> Node {
+    while level.len() > 1 {
+        level.sort_by(|a, b| {
+            a.mbb
+                .center()
+                .coord(Axis::X)
+                .total_cmp(&b.mbb.center().coord(Axis::X))
+        });
+        let mut next: Vec<Node> = Vec::with_capacity(level.len().div_ceil(capacity));
+        for chunk in level.chunks(capacity) {
+            let mbb = chunk
+                .iter()
+                .map(|n| n.mbb)
+                .reduce(|a, b| a.union(&b))
+                .expect("non-empty chunk");
+            next.push(Node {
+                mbb,
+                content: NodeContent::Internal(chunk.to_vec()),
+            });
+        }
+        level = next;
+    }
+    level.pop().expect("at least one node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    }
+
+    fn linear_count(points: &[Point3], query: &Aabb3) -> usize {
+        points.iter().filter(|p| query.contains(p, 0.0)).count()
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let tree = RTree::bulk_load(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.root().is_none());
+        let q = Aabb3::anchored_at_origin(Point3::new(1.0, 1.0, 1.0));
+        assert_eq!(tree.count_in_box(&q), 0);
+        assert!(tree.query_box(&q).is_empty());
+        assert!(tree.node_summaries().is_empty());
+    }
+
+    #[test]
+    fn small_tree_is_a_single_leaf() {
+        let points = random_points(5, 1);
+        let tree = RTree::bulk_load(&points);
+        assert_eq!(tree.len(), 5);
+        match &tree.root().unwrap().content {
+            NodeContent::Leaf(entries) => assert_eq!(entries.len(), 5),
+            NodeContent::Internal(_) => panic!("expected a leaf root"),
+        }
+    }
+
+    #[test]
+    fn queries_match_linear_scan() {
+        let points = random_points(200, 7);
+        let tree = RTree::bulk_load(&points);
+        let queries = [
+            Aabb3::anchored_at_origin(Point3::new(0.5, 0.5, 0.5)),
+            Aabb3::new(Point3::new(0.2, 0.2, 0.2), Point3::new(0.8, 0.9, 0.4)),
+            Aabb3::anchored_at_origin(Point3::new(1.0, 1.0, 1.0)),
+            Aabb3::from_point(points[17]),
+        ];
+        for q in queries {
+            assert_eq!(tree.count_in_box(&q), linear_count(&points, &q));
+            let reported = tree.query_box(&q);
+            assert_eq!(reported.len(), linear_count(&points, &q));
+            for idx in reported {
+                assert!(q.contains(&points[idx], 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn node_mbbs_contain_their_points() {
+        let points = random_points(300, 11);
+        let tree = RTree::bulk_load_with_capacity(&points, 4);
+        assert_eq!(tree.node_capacity(), 4);
+        tree.visit_nodes(|node, _| match &node.content {
+            NodeContent::Leaf(entries) => {
+                for (_, p) in entries {
+                    assert!(node.mbb.contains(p, 1e-12));
+                }
+            }
+            NodeContent::Internal(children) => {
+                for child in children {
+                    assert!(node.mbb.contains(&child.mbb.min, 1e-12));
+                    assert!(node.mbb.contains(&child.mbb.max, 1e-12));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn node_summaries_cover_every_point_exactly_once_at_leaf_level() {
+        let points = random_points(100, 3);
+        let tree = RTree::bulk_load(&points);
+        let total_in_root = tree
+            .node_summaries()
+            .first()
+            .map(|(_, count)| *count)
+            .unwrap();
+        assert_eq!(total_in_root, points.len());
+    }
+
+    #[test]
+    fn capacity_below_two_is_clamped() {
+        let points = random_points(10, 5);
+        let tree = RTree::bulk_load_with_capacity(&points, 0);
+        assert_eq!(tree.node_capacity(), 2);
+        let q = Aabb3::anchored_at_origin(Point3::new(1.0, 1.0, 1.0));
+        assert_eq!(tree.count_in_box(&q), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_linear_scan_for_random_boxes(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..120),
+            corner_a in (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+            corner_b in (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+            capacity in 2_usize..10,
+        ) {
+            let points: Vec<Point3> = raw.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+            let tree = RTree::bulk_load_with_capacity(&points, capacity);
+            let query = Aabb3::new(
+                Point3::new(corner_a.0, corner_a.1, corner_a.2),
+                Point3::new(corner_b.0, corner_b.1, corner_b.2),
+            );
+            prop_assert_eq!(tree.count_in_box(&query), linear_count(&points, &query));
+            prop_assert_eq!(tree.query_box(&query).len(), linear_count(&points, &query));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Sweep-line event lists.
+//!
+//! `ADPaR-Exact` (paper §4.1) discretizes the continuous search space by
+//! sweeping imaginary planes through the sorted strategy coordinates: "a
+//! sweep line is an imaginary vertical line which is swept across the plane
+//! rightwards … ADPaR-Exact sweeps the line as it encounters strategies, in
+//! order to discretize the sweep". This module provides the sorted event
+//! lists (value, item index, axis) that back those sweeps, corresponding to
+//! the paper's `R` / `I` / `D` arrays (Table 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Axis, Point3};
+
+/// A single sweep event: the position of one item along one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepEvent {
+    /// Coordinate value at which the sweep plane meets the item.
+    pub value: f64,
+    /// Index of the item (strategy) this event belongs to.
+    pub item: usize,
+    /// The axis being swept.
+    pub axis: Axis,
+}
+
+/// A sorted list of sweep events, optionally spanning several axes.
+///
+/// Events are ordered by ascending value; ties are broken by axis then item
+/// index so the order is deterministic (the paper's Table 4 lists ties in
+/// exactly this strategy-index order).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SweepList {
+    events: Vec<SweepEvent>,
+}
+
+impl SweepList {
+    /// Builds a single-axis sweep list from the coordinates of `points`
+    /// along `axis`.
+    #[must_use]
+    pub fn along_axis(points: &[Point3], axis: Axis) -> Self {
+        let mut events: Vec<SweepEvent> = points
+            .iter()
+            .enumerate()
+            .map(|(item, p)| SweepEvent {
+                value: p.coord(axis),
+                item,
+                axis,
+            })
+            .collect();
+        sort_events(&mut events);
+        Self { events }
+    }
+
+    /// Builds the combined three-axis sweep list over all coordinates of all
+    /// points — the paper's list `R` with companion arrays `I` (item index)
+    /// and `D` (axis).
+    #[must_use]
+    pub fn all_axes(points: &[Point3]) -> Self {
+        let mut events = Vec::with_capacity(points.len() * 3);
+        for axis in Axis::ALL {
+            for (item, p) in points.iter().enumerate() {
+                events.push(SweepEvent {
+                    value: p.coord(axis),
+                    item,
+                    axis,
+                });
+            }
+        }
+        sort_events(&mut events);
+        Self { events }
+    }
+
+    /// Builds a sweep list from raw `(value, item, axis)` triples.
+    #[must_use]
+    pub fn from_events(mut events: Vec<SweepEvent>) -> Self {
+        sort_events(&mut events);
+        Self { events }
+    }
+
+    /// The sorted events.
+    #[must_use]
+    pub fn events(&self) -> &[SweepEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event at position `cursor`, if any.
+    #[must_use]
+    pub fn at(&self, cursor: usize) -> Option<&SweepEvent> {
+        self.events.get(cursor)
+    }
+
+    /// The value of the `k`-th event (0-based `k-1`) along the list — used to
+    /// initialize the sweep at the `k`-th smallest coordinate, per Lemma 1 of
+    /// the paper ("to cover k strategies, d′ needs to be initialized at least
+    /// to the k-th smallest values on each parameter").
+    #[must_use]
+    pub fn kth_value(&self, k: usize) -> Option<f64> {
+        if k == 0 {
+            return None;
+        }
+        self.events.get(k - 1).map(|e| e.value)
+    }
+
+    /// Iterates over the distinct values in ascending order (collapsing
+    /// duplicates within `eps`). These are the only candidate positions an
+    /// exact sweep needs to consider.
+    #[must_use]
+    pub fn distinct_values(&self, eps: f64) -> Vec<f64> {
+        let mut values = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            if values
+                .last()
+                .is_none_or(|&last: &f64| (event.value - last).abs() > eps)
+            {
+                values.push(event.value);
+            }
+        }
+        values
+    }
+}
+
+fn sort_events(events: &mut [SweepEvent]) {
+    events.sort_by(|a, b| {
+        a.value
+            .total_cmp(&b.value)
+            .then(a.axis.index().cmp(&b.axis.index()))
+            .then(a.item.cmp(&b.item))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_points() -> Vec<Point3> {
+        vec![
+            Point3::new(0.3, 0.05, 0.0),
+            Point3::new(0.05, 0.13, 0.0),
+            Point3::new(0.0, 0.3, 0.0),
+            Point3::new(0.0, 0.38, 0.0),
+        ]
+    }
+
+    #[test]
+    fn single_axis_sweep_is_sorted() {
+        let list = SweepList::along_axis(&sample_points(), Axis::X);
+        let values: Vec<f64> = list.events().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![0.0, 0.0, 0.05, 0.3]);
+        // Ties broken by item index.
+        assert_eq!(list.events()[0].item, 2);
+        assert_eq!(list.events()[1].item, 3);
+    }
+
+    #[test]
+    fn all_axes_sweep_has_three_events_per_point() {
+        let points = sample_points();
+        let list = SweepList::all_axes(&points);
+        assert_eq!(list.len(), points.len() * 3);
+        assert!(!list.is_empty());
+        // First events are the zero latencies (Z axis) and zero X coords.
+        assert_eq!(list.events()[0].value, 0.0);
+    }
+
+    #[test]
+    fn kth_value_matches_sorted_order() {
+        let list = SweepList::along_axis(&sample_points(), Axis::Y);
+        assert_eq!(list.kth_value(0), None);
+        assert_eq!(list.kth_value(1), Some(0.05));
+        assert_eq!(list.kth_value(3), Some(0.3));
+        assert_eq!(list.kth_value(5), None);
+    }
+
+    #[test]
+    fn distinct_values_collapse_duplicates() {
+        let list = SweepList::along_axis(&sample_points(), Axis::Z);
+        assert_eq!(list.distinct_values(1e-9), vec![0.0]);
+        let list = SweepList::along_axis(&sample_points(), Axis::X);
+        assert_eq!(list.distinct_values(1e-9), vec![0.0, 0.05, 0.3]);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_list() {
+        let list = SweepList::all_axes(&[]);
+        assert!(list.is_empty());
+        assert_eq!(list.at(0), None);
+        assert!(list.distinct_values(1e-9).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn events_are_always_sorted(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..32),
+        ) {
+            let points: Vec<Point3> = raw.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+            let list = SweepList::all_axes(&points);
+            for pair in list.events().windows(2) {
+                prop_assert!(pair[0].value <= pair[1].value + 1e-12);
+            }
+            prop_assert_eq!(list.len(), points.len() * 3);
+        }
+
+        #[test]
+        fn distinct_values_are_strictly_increasing(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..32),
+        ) {
+            let points: Vec<Point3> = raw.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+            let list = SweepList::all_axes(&points);
+            let distinct = list.distinct_values(1e-9);
+            for pair in distinct.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Discrete probability distributions.
+//!
+//! Worker availability in the paper is "a discrete random variable …
+//! represented by its corresponding distribution function (pdf), which gives
+//! the probability of the proportion of workers who are suitable and
+//! available" (§2.1); StratRec then works with the expectation of that pdf.
+//! This module provides the generic discrete distribution used by the core
+//! library's availability model and by the platform simulator, including
+//! validation, expectation, variance and inverse-CDF sampling.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete distribution over `f64` outcomes.
+///
+/// Probabilities are validated to be non-negative and to sum to 1 within a
+/// small tolerance; construction fails otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteDistribution {
+    outcomes: Vec<f64>,
+    probabilities: Vec<f64>,
+}
+
+/// Errors produced when constructing a [`DiscreteDistribution`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistributionError {
+    /// The outcome and probability slices had different lengths.
+    LengthMismatch,
+    /// The distribution had no outcomes.
+    Empty,
+    /// A probability was negative or non-finite.
+    InvalidProbability,
+    /// The probabilities did not sum to one (within 1e-6).
+    DoesNotSumToOne,
+}
+
+impl std::fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch => write!(f, "outcomes and probabilities differ in length"),
+            Self::Empty => write!(f, "distribution must have at least one outcome"),
+            Self::InvalidProbability => write!(f, "probabilities must be finite and non-negative"),
+            Self::DoesNotSumToOne => write!(f, "probabilities must sum to 1"),
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+impl DiscreteDistribution {
+    /// Builds a distribution from parallel slices of outcomes and
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DistributionError`] when the slices mismatch in length,
+    /// are empty, contain invalid probabilities, or do not sum to one.
+    pub fn new(outcomes: &[f64], probabilities: &[f64]) -> Result<Self, DistributionError> {
+        if outcomes.len() != probabilities.len() {
+            return Err(DistributionError::LengthMismatch);
+        }
+        if outcomes.is_empty() {
+            return Err(DistributionError::Empty);
+        }
+        if probabilities
+            .iter()
+            .any(|p| !p.is_finite() || *p < -1e-12)
+        {
+            return Err(DistributionError::InvalidProbability);
+        }
+        let total: f64 = probabilities.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(DistributionError::DoesNotSumToOne);
+        }
+        Ok(Self {
+            outcomes: outcomes.to_vec(),
+            probabilities: probabilities.to_vec(),
+        })
+    }
+
+    /// A distribution placing all mass on a single outcome.
+    #[must_use]
+    pub fn degenerate(outcome: f64) -> Self {
+        Self {
+            outcomes: vec![outcome],
+            probabilities: vec![1.0],
+        }
+    }
+
+    /// The outcomes of the distribution.
+    #[must_use]
+    pub fn outcomes(&self) -> &[f64] {
+        &self.outcomes
+    }
+
+    /// The probabilities of the distribution (parallel to [`Self::outcomes`]).
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Expected value `Σ p_i · x_i`.
+    #[must_use]
+    pub fn expectation(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(x, p)| x * p)
+            .sum()
+    }
+
+    /// Variance `Σ p_i · (x_i − E)²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let mean = self.expectation();
+        self.outcomes
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(x, p)| p * (x - mean) * (x - mean))
+            .sum()
+    }
+
+    /// Inverse-CDF sampling: maps a uniform draw `u ∈ [0, 1)` to an outcome.
+    /// Values outside `[0, 1)` are clamped. Deterministic given `u`, which
+    /// keeps simulation code reproducible without threading RNG types through
+    /// this crate.
+    #[must_use]
+    pub fn sample_with_uniform(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        let mut cumulative = 0.0;
+        for (x, p) in self.outcomes.iter().zip(&self.probabilities) {
+            cumulative += p;
+            if u < cumulative {
+                return *x;
+            }
+        }
+        *self
+            .outcomes
+            .last()
+            .expect("constructor guarantees at least one outcome")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_expectation() {
+        // "70% chance of having 7% of the workers and a 30% chance of having
+        // 2% of the workers … In expectation, this gives rise to 5.5%".
+        let d = DiscreteDistribution::new(&[0.07, 0.02], &[0.7, 0.3]).unwrap();
+        assert!((d.expectation() - 0.055).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_paper_example_expectation() {
+        // "50% probability of having 700 workers and a 50% probability of
+        // having 900 workers out of 1000 … expected worker availability W is
+        // 0.8".
+        let d = DiscreteDistribution::new(&[0.7, 0.9], &[0.5, 0.5]).unwrap();
+        assert!((d.expectation() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert_eq!(
+            DiscreteDistribution::new(&[0.1], &[0.5, 0.5]).unwrap_err(),
+            DistributionError::LengthMismatch
+        );
+        assert_eq!(
+            DiscreteDistribution::new(&[], &[]).unwrap_err(),
+            DistributionError::Empty
+        );
+        assert_eq!(
+            DiscreteDistribution::new(&[0.1, 0.2], &[-0.5, 1.5]).unwrap_err(),
+            DistributionError::InvalidProbability
+        );
+        assert_eq!(
+            DiscreteDistribution::new(&[0.1, 0.2], &[0.3, 0.3]).unwrap_err(),
+            DistributionError::DoesNotSumToOne
+        );
+    }
+
+    #[test]
+    fn degenerate_distribution_has_zero_variance() {
+        let d = DiscreteDistribution::degenerate(0.42);
+        assert_eq!(d.expectation(), 0.42);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.sample_with_uniform(0.99), 0.42);
+    }
+
+    #[test]
+    fn sampling_respects_cumulative_boundaries() {
+        let d = DiscreteDistribution::new(&[1.0, 2.0, 3.0], &[0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(d.sample_with_uniform(0.0), 1.0);
+        assert_eq!(d.sample_with_uniform(0.19), 1.0);
+        assert_eq!(d.sample_with_uniform(0.2), 2.0);
+        assert_eq!(d.sample_with_uniform(0.49), 2.0);
+        assert_eq!(d.sample_with_uniform(0.5), 3.0);
+        assert_eq!(d.sample_with_uniform(1.0), 3.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = format!("{}", DistributionError::DoesNotSumToOne);
+        assert!(msg.contains("sum"));
+    }
+
+    proptest! {
+        #[test]
+        fn expectation_is_within_outcome_range(
+            outcomes in proptest::collection::vec(0.0_f64..1.0, 1..8),
+            weights in proptest::collection::vec(0.01_f64..1.0, 1..8),
+        ) {
+            let n = outcomes.len().min(weights.len());
+            let outcomes = &outcomes[..n];
+            let total: f64 = weights[..n].iter().sum();
+            let probs: Vec<f64> = weights[..n].iter().map(|w| w / total).collect();
+            let d = DiscreteDistribution::new(outcomes, &probs).unwrap();
+            let lo = outcomes.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = outcomes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(d.expectation() >= lo - 1e-9);
+            prop_assert!(d.expectation() <= hi + 1e-9);
+            prop_assert!(d.variance() >= -1e-12);
+        }
+
+        #[test]
+        fn sampling_always_returns_an_outcome(
+            u in 0.0_f64..1.0,
+        ) {
+            let d = DiscreteDistribution::new(&[0.2, 0.4, 0.9], &[0.25, 0.25, 0.5]).unwrap();
+            let sample = d.sample_with_uniform(u);
+            prop_assert!(d.outcomes().contains(&sample));
+        }
+    }
+}

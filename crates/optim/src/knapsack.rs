@@ -1,0 +1,409 @@
+//! 0/1 knapsack solvers.
+//!
+//! The pay-off maximization variant of batch deployment recommendation is
+//! NP-hard by reduction from 0/1 knapsack (paper, Theorem 1), and
+//! `BatchStrat-PayOff` is the classical greedy ½-approximation (Ibarra &
+//! Kim / Lawler). This module provides three interchangeable solvers over
+//! real-valued weights and values:
+//!
+//! * [`solve_brute_force`] — exact, exponential; the ground truth used by the
+//!   paper's `Brute Force` baseline and by our property tests.
+//! * [`solve_greedy_half_approx`] — the greedy density ordering with the
+//!   "better of prefix or breaking item" fix-up, guaranteeing ½·OPT.
+//! * [`solve_greedy_density`] — plain greedy density ordering *without* the
+//!   fix-up; this is the paper's `BaselineG` and carries no guarantee.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate item for the knapsack: `weight` consumed against the capacity
+/// and `value` contributed to the objective.
+///
+/// Both quantities are non-negative reals; in StratRec the weight is a
+/// workforce requirement in `[0, 1]` and the value is either `1`
+/// (throughput) or the request's cost budget (pay-off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnapsackItem {
+    /// Capacity consumed when the item is selected.
+    pub weight: f64,
+    /// Objective contribution when the item is selected.
+    pub value: f64,
+}
+
+impl KnapsackItem {
+    /// Creates a new item. Negative weights or values are clamped to zero so
+    /// that malformed inputs degrade gracefully instead of corrupting the
+    /// greedy ordering.
+    #[must_use]
+    pub fn new(weight: f64, value: f64) -> Self {
+        Self {
+            weight: weight.max(0.0),
+            value: value.max(0.0),
+        }
+    }
+
+    /// Value density (`value / weight`). Zero-weight items have infinite
+    /// density and therefore sort first in greedy orderings.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.weight <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            self.value / self.weight
+        }
+    }
+}
+
+/// The result of a knapsack solver: which items were chosen and the totals.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct KnapsackSolution {
+    /// Indices (into the input slice) of the selected items, in ascending
+    /// order.
+    pub selected: Vec<usize>,
+    /// Sum of the values of the selected items.
+    pub total_value: f64,
+    /// Sum of the weights of the selected items.
+    pub total_weight: f64,
+}
+
+impl KnapsackSolution {
+    fn from_indices(items: &[KnapsackItem], mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        let total_value = selected.iter().map(|&i| items[i].value).sum();
+        let total_weight = selected.iter().map(|&i| items[i].weight).sum();
+        Self {
+            selected,
+            total_value,
+            total_weight,
+        }
+    }
+
+    /// Returns `true` when no item was selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+}
+
+/// Exact solver.
+///
+/// Uses plain subset enumeration up to 20 items and a meet-in-the-middle
+/// split (exact, `O(2^{n/2} · n)`) up to 40 items, which covers the paper's
+/// brute-force comparisons (`m ≤ 30`). Instances beyond 40 items fall back to
+/// the greedy ½-approximation instead of exhausting memory.
+#[must_use]
+pub fn solve_brute_force(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    match items.len() {
+        0..=20 => solve_enumerate(items, capacity),
+        21..=40 => solve_meet_in_the_middle(items, capacity),
+        _ => solve_greedy_half_approx(items, capacity),
+    }
+}
+
+fn solve_enumerate(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    let n = items.len();
+    let mut best: Option<(f64, u64)> = None;
+    for mask in 0_u64..(1_u64 << n) {
+        let mut weight = 0.0;
+        let mut value = 0.0;
+        for (i, item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                weight += item.weight;
+                value += item.value;
+            }
+        }
+        if weight <= capacity + 1e-12 {
+            let better = match best {
+                None => true,
+                Some((best_value, _)) => value > best_value + 1e-12,
+            };
+            if better {
+                best = Some((value, mask));
+            }
+        }
+    }
+    let (_, mask) = best.unwrap_or((0.0, 0));
+    let selected = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+    KnapsackSolution::from_indices(items, selected)
+}
+
+/// Meet-in-the-middle exact search: enumerate each half, keep the Pareto
+/// frontier of the second half sorted by weight, and match every first-half
+/// subset with the best-compatible second-half subset.
+fn solve_meet_in_the_middle(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    let (left, right) = items.split_at(items.len() / 2);
+    let enumerate_half = |half: &[KnapsackItem]| -> Vec<(f64, f64, u64)> {
+        let n = half.len();
+        let mut subsets = Vec::with_capacity(1 << n);
+        for mask in 0_u64..(1_u64 << n) {
+            let mut weight = 0.0;
+            let mut value = 0.0;
+            for (i, item) in half.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    weight += item.weight;
+                    value += item.value;
+                }
+            }
+            if weight <= capacity + 1e-12 {
+                subsets.push((weight, value, mask));
+            }
+        }
+        subsets
+    };
+
+    let left_subsets = enumerate_half(left);
+    let mut right_subsets = enumerate_half(right);
+    // Sort by weight and turn values into a running maximum so a binary
+    // search by remaining capacity immediately yields the best completion.
+    right_subsets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut best_so_far = f64::NEG_INFINITY;
+    let mut right_best: Vec<(f64, f64, u64)> = Vec::with_capacity(right_subsets.len());
+    for (weight, value, mask) in right_subsets {
+        if value > best_so_far {
+            best_so_far = value;
+            right_best.push((weight, value, mask));
+        } else {
+            right_best.push((weight, best_so_far, right_best.last().expect("non-empty").2));
+        }
+    }
+
+    let mut best: Option<(f64, u64, u64)> = None;
+    for &(weight, value, left_mask) in &left_subsets {
+        let remaining = capacity - weight;
+        // Largest right subset weight ≤ remaining.
+        let idx = right_best.partition_point(|&(w, _, _)| w <= remaining + 1e-12);
+        if idx == 0 {
+            continue;
+        }
+        let (_, right_value, right_mask) = right_best[idx - 1];
+        let total = value + right_value;
+        let better = match best {
+            None => true,
+            Some((best_value, _, _)) => total > best_value + 1e-12,
+        };
+        if better {
+            best = Some((total, left_mask, right_mask));
+        }
+    }
+
+    let (_, left_mask, right_mask) = best.unwrap_or((0.0, 0, 0));
+    let mut selected: Vec<usize> = (0..left.len()).filter(|i| left_mask & (1 << i) != 0).collect();
+    selected.extend((0..right.len()).filter(|i| right_mask & (1 << i) != 0).map(|i| i + left.len()));
+    KnapsackSolution::from_indices(items, selected)
+}
+
+/// Greedy density ordering *without* the single-item fix-up.
+///
+/// Sorts items by non-increasing `value / weight` and adds them while they
+/// fit. This is the paper's `BaselineG`; it can be arbitrarily far from the
+/// optimum (a single heavy, high-value item defeats it).
+#[must_use]
+pub fn solve_greedy_density(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    let order = density_order(items);
+    let mut selected = Vec::new();
+    let mut remaining = capacity;
+    for idx in order {
+        if items[idx].weight <= remaining + 1e-12 {
+            remaining -= items[idx].weight;
+            selected.push(idx);
+        }
+    }
+    KnapsackSolution::from_indices(items, selected)
+}
+
+/// Greedy ½-approximation: take the better of (a) the maximal greedy prefix
+/// in density order and (b) the single most valuable item that fits.
+///
+/// This mirrors Algorithm `BatchStrat` lines 7–9 of the paper and inherits
+/// the classical guarantee `value ≥ OPT / 2` (paper, Theorem 3).
+#[must_use]
+pub fn solve_greedy_half_approx(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    let order = density_order(items);
+
+    // (a) maximal prefix of the density order that fits.
+    let mut prefix = Vec::new();
+    let mut remaining = capacity;
+    for &idx in &order {
+        if items[idx].weight <= remaining + 1e-12 {
+            remaining -= items[idx].weight;
+            prefix.push(idx);
+        } else {
+            // Stop at the breaking item, per the analysis in Theorem 3: the
+            // prefix before the first item that does not fit, compared with
+            // the breaking item alone, already achieves 1/2 OPT.
+            break;
+        }
+    }
+    let prefix_solution = KnapsackSolution::from_indices(items, prefix);
+
+    // (b) best single item that fits on its own.
+    let single = items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.weight <= capacity + 1e-12)
+        .max_by(|a, b| a.1.value.total_cmp(&b.1.value))
+        .map(|(i, _)| vec![i])
+        .unwrap_or_default();
+    let single_solution = KnapsackSolution::from_indices(items, single);
+
+    if single_solution.total_value > prefix_solution.total_value {
+        single_solution
+    } else {
+        prefix_solution
+    }
+}
+
+/// Indices of `items` sorted by non-increasing value density, breaking ties
+/// by smaller weight first so that cheap items are preferred.
+#[must_use]
+pub fn density_order(items: &[KnapsackItem]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .density()
+            .total_cmp(&items[a].density())
+            .then(items[a].weight.total_cmp(&items[b].weight))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(raw: &[(f64, f64)]) -> Vec<KnapsackItem> {
+        raw.iter().map(|&(w, v)| KnapsackItem::new(w, v)).collect()
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_solution() {
+        let solution = solve_brute_force(&[], 1.0);
+        assert!(solution.is_empty());
+        assert_eq!(solution.total_value, 0.0);
+        assert_eq!(solution.total_weight, 0.0);
+    }
+
+    #[test]
+    fn brute_force_picks_optimal_subset() {
+        let items = items(&[(0.4, 0.4), (0.3, 0.5), (0.5, 0.6), (0.2, 0.1)]);
+        let solution = solve_brute_force(&items, 0.8);
+        // Optimal: items 1 and 2 (weight 0.8, value 1.1).
+        assert_eq!(solution.selected, vec![1, 2]);
+        assert!((solution.total_value - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_density_can_be_suboptimal_but_half_approx_is_not_fooled() {
+        // Classic adversarial instance: one tiny high-density item plus one
+        // big item worth almost the whole capacity.
+        let items = items(&[(0.01, 0.02), (1.0, 1.0)]);
+        let greedy = solve_greedy_density(&items, 1.0);
+        assert_eq!(greedy.selected, vec![0]);
+        let half = solve_greedy_half_approx(&items, 1.0);
+        assert_eq!(half.selected, vec![1]);
+        assert!((half.total_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_items_are_always_taken_first() {
+        let items = items(&[(0.0, 0.1), (0.6, 0.9), (0.5, 0.2)]);
+        let solution = solve_greedy_half_approx(&items, 0.6);
+        assert!(solution.selected.contains(&0));
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let item = KnapsackItem::new(-1.0, -2.0);
+        assert_eq!(item.weight, 0.0);
+        assert_eq!(item.value, 0.0);
+    }
+
+    #[test]
+    fn capacity_zero_only_accepts_weightless_items() {
+        let items = items(&[(0.0, 0.5), (0.1, 9.0)]);
+        let solution = solve_brute_force(&items, 0.0);
+        assert_eq!(solution.selected, vec![0]);
+    }
+
+    #[test]
+    fn density_of_zero_weight_is_infinite() {
+        assert!(KnapsackItem::new(0.0, 1.0).density().is_infinite());
+        assert!((KnapsackItem::new(2.0, 1.0).density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_instance_falls_back_to_greedy() {
+        let many: Vec<KnapsackItem> = (0..50).map(|i| KnapsackItem::new(0.1, i as f64)).collect();
+        let solution = solve_brute_force(&many, 1.0);
+        assert!(!solution.is_empty());
+        assert!(solution.total_weight <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn meet_in_the_middle_matches_enumeration() {
+        // 24 items routes through the meet-in-the-middle path; compare it
+        // against plain enumeration on the same instance.
+        let items: Vec<KnapsackItem> = (0..24)
+            .map(|i| {
+                KnapsackItem::new(
+                    0.05 + 0.013 * (i % 7) as f64,
+                    0.1 + 0.029 * (i % 5) as f64,
+                )
+            })
+            .collect();
+        for capacity in [0.2, 0.5, 1.0, 2.0] {
+            let mitm = solve_meet_in_the_middle(&items, capacity);
+            let enumerated = solve_enumerate(&items, capacity);
+            assert!(
+                (mitm.total_value - enumerated.total_value).abs() < 1e-9,
+                "capacity {capacity}: {} vs {}",
+                mitm.total_value,
+                enumerated.total_value
+            );
+            assert!(mitm.total_weight <= capacity + 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn half_approx_guarantee_holds(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0), 0..10),
+            capacity in 0.0_f64..2.0,
+        ) {
+            let items = items(&raw);
+            let optimal = solve_brute_force(&items, capacity);
+            let approx = solve_greedy_half_approx(&items, capacity);
+            prop_assert!(approx.total_weight <= capacity + 1e-9);
+            prop_assert!(approx.total_value + 1e-9 >= optimal.total_value / 2.0);
+        }
+
+        #[test]
+        fn solutions_respect_capacity_and_are_sorted(
+            raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0), 0..12),
+            capacity in 0.0_f64..3.0,
+        ) {
+            let items = items(&raw);
+            for solution in [
+                solve_greedy_density(&items, capacity),
+                solve_greedy_half_approx(&items, capacity),
+            ] {
+                prop_assert!(solution.total_weight <= capacity + 1e-9);
+                let mut sorted = solution.selected.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &solution.selected);
+            }
+        }
+
+        #[test]
+        fn greedy_prefix_never_beats_optimum(
+            raw in proptest::collection::vec((0.01_f64..1.0, 0.0_f64..1.0), 0..10),
+            capacity in 0.0_f64..2.0,
+        ) {
+            let items = items(&raw);
+            let optimal = solve_brute_force(&items, capacity);
+            let greedy = solve_greedy_density(&items, capacity);
+            prop_assert!(greedy.total_value <= optimal.total_value + 1e-9);
+        }
+    }
+}

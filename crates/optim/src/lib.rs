@@ -1,0 +1,32 @@
+//! Discrete-optimization and statistics substrate for StratRec.
+//!
+//! The StratRec paper grounds its algorithms in two classical toolboxes:
+//!
+//! * **Discrete optimization** — the batch-deployment problem reduces to a
+//!   0/1 knapsack (Theorem 1 of the paper), and the `BatchStrat` algorithm is
+//!   a greedy knapsack approximation. This crate provides reference knapsack
+//!   solvers ([`knapsack`]) used both by the core library and by the test
+//!   suite to verify approximation guarantees, plus the top-k selection
+//!   primitives ([`topk`]) used when aggregating workforce requirements.
+//! * **Statistics** — the real-data experiments of the paper fit linear
+//!   models between worker availability and deployment parameters
+//!   ([`regression`]) and report statistical significance of the comparisons
+//!   ([`stats`]). The same routines drive the simulated experiments in
+//!   `stratrec-platform`.
+//!
+//! Everything here is dependency-light, deterministic and fully unit /
+//! property tested; the crate has no knowledge of crowdsourcing concepts and
+//! can be reused on plain numeric data.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod knapsack;
+pub mod regression;
+pub mod stats;
+pub mod topk;
+
+pub use distributions::DiscreteDistribution;
+pub use knapsack::{KnapsackItem, KnapsackSolution};
+pub use regression::LinearFit;
+pub use stats::Summary;

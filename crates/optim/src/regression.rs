@@ -1,0 +1,232 @@
+//! Ordinary-least-squares linear regression.
+//!
+//! Section 3.1 of the paper models every deployment parameter as a linear
+//! function of worker availability, `param = α·w + β` (Equation 4), with the
+//! `(α, β)` pairs fitted from historical deployments and reported with 90 %
+//! confidence intervals (Table 6). This module provides the OLS fit, the
+//! coefficient of determination, standard errors and confidence intervals
+//! needed to reproduce that table from simulated deployments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+
+/// Result of fitting `y = slope · x + intercept` by ordinary least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope (the paper's `α`).
+    pub slope: f64,
+    /// Fitted intercept (the paper's `β`).
+    pub intercept: f64,
+    /// Coefficient of determination `R²` in `[0, 1]` (1 for a perfect fit).
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_stderr: f64,
+    /// Standard error of the intercept estimate.
+    pub intercept_stderr: f64,
+    /// Number of observations used in the fit.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicts `y` for a given `x` using the fitted line.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Inverts the fitted line: returns the `x` achieving a given `y`.
+    ///
+    /// Returns `None` when the slope is (numerically) zero, in which case no
+    /// finite `x` reaches a `y` different from the intercept. This is exactly
+    /// the inversion used in §3.2 to turn a deployment threshold into a
+    /// workforce requirement.
+    #[must_use]
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        if self.slope.abs() <= 1e-12 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+
+    /// Two-sided confidence interval for the slope at the given confidence
+    /// level (e.g. `0.90` for the paper's 90 % intervals).
+    #[must_use]
+    pub fn slope_confidence_interval(&self, level: f64) -> (f64, f64) {
+        let dof = self.n.saturating_sub(2);
+        let t = stats::t_critical_two_sided(dof, level);
+        (
+            self.slope - t * self.slope_stderr,
+            self.slope + t * self.slope_stderr,
+        )
+    }
+
+    /// Two-sided confidence interval for the intercept at the given level.
+    #[must_use]
+    pub fn intercept_confidence_interval(&self, level: f64) -> (f64, f64) {
+        let dof = self.n.saturating_sub(2);
+        let t = stats::t_critical_two_sided(dof, level);
+        (
+            self.intercept - t * self.intercept_stderr,
+            self.intercept + t * self.intercept_stderr,
+        )
+    }
+
+    /// Returns `true` when the point `(slope, intercept)` of another fit lies
+    /// inside this fit's confidence box at the given level. Used by the
+    /// simulated Table 6 experiment to check that re-estimated parameters are
+    /// statistically compatible with the generating ones.
+    #[must_use]
+    pub fn contains_at_confidence(&self, slope: f64, intercept: f64, level: f64) -> bool {
+        let (slo, shi) = self.slope_confidence_interval(level);
+        let (ilo, ihi) = self.intercept_confidence_interval(level);
+        slope >= slo && slope <= shi && intercept >= ilo && intercept <= ihi
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are supplied, when the lengths
+/// differ, or when all `x` values are identical (the slope is then
+/// unidentifiable).
+#[must_use]
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx <= 1e-15 {
+        return None;
+    }
+
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    // Residual sum of squares and derived quantities.
+    let mut rss = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let resid = y - (slope * x + intercept);
+        rss += resid * resid;
+    }
+    let r_squared = if syy <= 1e-15 {
+        1.0
+    } else {
+        (1.0 - rss / syy).clamp(0.0, 1.0)
+    };
+
+    let dof = (xs.len().saturating_sub(2)) as f64;
+    let residual_variance = if dof > 0.0 { rss / dof } else { 0.0 };
+    let slope_stderr = (residual_variance / sxx).sqrt();
+    let intercept_stderr =
+        (residual_variance * (1.0 / n + mean_x * mean_x / sxx)).sqrt();
+
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_stderr,
+        intercept_stderr,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(fit_linear(&[], &[]).is_none());
+        assert!(fit_linear(&[1.0], &[2.0]).is_none());
+        assert!(fit_linear(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(fit_linear(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.09 * x + 0.85).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.09).abs() < 1e-10);
+        assert!((fit.intercept - 0.85).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-10);
+        assert!(fit.slope_stderr < 1e-8);
+    }
+
+    #[test]
+    fn predict_and_invert_are_inverse() {
+        let xs = [0.1, 0.4, 0.6, 0.9];
+        let ys: Vec<f64> = xs.iter().map(|x| -0.98 * x + 1.40).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        let y = fit.predict(0.5);
+        let x = fit.invert(y).unwrap();
+        assert!((x - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invert_of_flat_line_is_none() {
+        let fit = fit_linear(&[0.0, 0.5, 1.0], &[0.7, 0.7, 0.7]).unwrap();
+        assert_eq!(fit.invert(0.9), None);
+    }
+
+    #[test]
+    fn confidence_interval_contains_true_parameters_for_noiseless_data() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 * x + 0.0).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!(fit.contains_at_confidence(1.0, 0.0, 0.90));
+        let (lo, hi) = fit.slope_confidence_interval(0.90);
+        assert!(lo <= 1.0 && 1.0 <= hi);
+    }
+
+    #[test]
+    fn r_squared_degrades_with_noise() {
+        // Deterministic pseudo-noise so the test is stable.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.5 * x + 0.2 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.5);
+        assert!(fit.r_squared < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn fit_recovers_generating_line(
+            slope in -2.0_f64..2.0,
+            intercept in -1.0_f64..1.0,
+        ) {
+            let xs: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+            let fit = fit_linear(&xs, &ys).unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-6);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        }
+
+        #[test]
+        fn r_squared_is_bounded(
+            ys in proptest::collection::vec(0.0_f64..1.0, 3..30),
+        ) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            if let Some(fit) = fit_linear(&xs, &ys) {
+                prop_assert!((0.0..=1.0).contains(&fit.r_squared));
+            }
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Descriptive statistics and significance tests.
+//!
+//! The paper's experimental claims are statistical: worker availability
+//! "varies over time (standard error bars added)", the linear relationship
+//! holds "with 90 % statistical significance", and StratRec-guided
+//! deployments beat unguided ones "with statistical significance". This
+//! module supplies the machinery those claims rest on: summary statistics,
+//! standard errors, Student-t critical values and paired / two-sample t
+//! tests, all without external dependencies.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample variance (Bessel-corrected; 0 for n < 2).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Minimum observation (`NaN` for empty samples).
+    pub min: f64,
+    /// Maximum observation (`NaN` for empty samples).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over a slice. Empty slices produce a
+    /// summary with `n = 0`, zero mean/variance and `NaN` extrema.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                std_err: 0.0,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let std_dev = variance.sqrt();
+        let std_err = std_dev / (n as f64).sqrt();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            variance,
+            std_dev,
+            std_err,
+            min,
+            max,
+        }
+    }
+
+    /// Symmetric confidence interval around the mean at the given level,
+    /// using the Student-t distribution with `n - 1` degrees of freedom.
+    #[must_use]
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        if self.n < 2 {
+            return (self.mean, self.mean);
+        }
+        let t = t_critical_two_sided(self.n - 1, level);
+        (self.mean - t * self.std_err, self.mean + t * self.std_err)
+    }
+}
+
+/// Outcome of a t test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTest {
+    /// The t statistic.
+    pub t_statistic: f64,
+    /// Degrees of freedom used for the critical value.
+    pub degrees_of_freedom: usize,
+    /// Two-sided p-value (approximate).
+    pub p_value: f64,
+    /// Difference of means (first sample minus second / paired differences).
+    pub mean_difference: f64,
+}
+
+impl TTest {
+    /// Whether the difference is significant at the given two-sided level
+    /// (e.g. `0.05`).
+    #[must_use]
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Paired t test over two samples of equal length (e.g. the mirrored
+/// with/without-StratRec deployments of §5.1.2). Returns `None` for
+/// mismatched lengths or fewer than two pairs.
+#[must_use]
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let summary = Summary::of(&diffs);
+    if summary.std_err <= 1e-15 {
+        // Identical pairs: define t as 0 (no evidence of a difference) unless
+        // the mean difference itself is non-zero, which with zero variance is
+        // infinitely significant.
+        let p = if summary.mean.abs() <= 1e-15 { 1.0 } else { 0.0 };
+        return Some(TTest {
+            t_statistic: if p == 0.0 { f64::INFINITY } else { 0.0 },
+            degrees_of_freedom: a.len() - 1,
+            p_value: p,
+            mean_difference: summary.mean,
+        });
+    }
+    let t = summary.mean / summary.std_err;
+    let dof = a.len() - 1;
+    Some(TTest {
+        t_statistic: t,
+        degrees_of_freedom: dof,
+        p_value: two_sided_p_value(t, dof),
+        mean_difference: summary.mean,
+    })
+}
+
+/// Welch's two-sample t test (unequal variances). Returns `None` when either
+/// sample has fewer than two observations.
+#[must_use]
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let va = sa.variance / sa.n as f64;
+    let vb = sb.variance / sb.n as f64;
+    let pooled = va + vb;
+    if pooled <= 1e-15 {
+        let diff = sa.mean - sb.mean;
+        let p = if diff.abs() <= 1e-15 { 1.0 } else { 0.0 };
+        return Some(TTest {
+            t_statistic: if p == 0.0 { f64::INFINITY } else { 0.0 },
+            degrees_of_freedom: (sa.n + sb.n).saturating_sub(2),
+            p_value: p,
+            mean_difference: diff,
+        });
+    }
+    let t = (sa.mean - sb.mean) / pooled.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let dof_num = pooled * pooled;
+    let dof_den = va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0);
+    let dof = if dof_den <= 1e-300 {
+        (sa.n + sb.n).saturating_sub(2)
+    } else {
+        (dof_num / dof_den).floor().max(1.0) as usize
+    };
+    Some(TTest {
+        t_statistic: t,
+        degrees_of_freedom: dof,
+        p_value: two_sided_p_value(t, dof),
+        mean_difference: sa.mean - sb.mean,
+    })
+}
+
+/// Two-sided p-value for a t statistic with the given degrees of freedom.
+#[must_use]
+pub fn two_sided_p_value(t: f64, dof: usize) -> f64 {
+    (2.0 * (1.0 - student_t_cdf(t.abs(), dof))).clamp(0.0, 1.0)
+}
+
+/// Critical value `t*` such that `P(|T| <= t*) = level` for a Student-t
+/// distribution with `dof` degrees of freedom. `dof == 0` falls back to the
+/// normal quantile.
+#[must_use]
+pub fn t_critical_two_sided(dof: usize, level: f64) -> f64 {
+    let level = level.clamp(0.0, 0.999_999);
+    let target = 0.5 + level / 2.0;
+    // Monotone bisection on the CDF; the CDF is cheap so 80 iterations give
+    // ~1e-12 accuracy over the bracket.
+    let mut lo = 0.0_f64;
+    let mut hi = 1e3_f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, dof) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// CDF of the Student-t distribution with `dof` degrees of freedom, via the
+/// regularized incomplete beta function. `dof == 0` uses the standard normal.
+#[must_use]
+pub fn student_t_cdf(t: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        return standard_normal_cdf(t);
+    }
+    let v = dof as f64;
+    let x = v / (v + t * t);
+    let p = 0.5 * regularized_incomplete_beta(0.5 * v, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// CDF of the standard normal distribution (Abramowitz–Stegun 7.1.26 via
+/// `erf`).
+#[must_use]
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26, |error| ≤ 1.5e-7).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes style).
+#[must_use]
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural logarithm of the gamma function (Lanczos approximation).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.min.is_nan());
+        assert!(s.max.is_nan());
+    }
+
+    #[test]
+    fn summary_matches_manual_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.min - 2.0).abs() < 1e-12);
+        assert!((s.max - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_cdf_approaches_normal_for_large_dof() {
+        let t = 1.5;
+        let diff = (student_t_cdf(t, 10_000) - standard_normal_cdf(t)).abs();
+        assert!(diff < 1e-3);
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Classical table values: t_{0.975, 10} ≈ 2.228, t_{0.95, 20} ≈ 1.725.
+        assert!((t_critical_two_sided(10, 0.95) - 2.228).abs() < 0.01);
+        assert!((t_critical_two_sided(20, 0.90) - 1.725).abs() < 0.01);
+        assert!((t_critical_two_sided(0, 0.95) - 1.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn paired_t_test_detects_obvious_shift() {
+        let a = [0.80, 0.82, 0.79, 0.85, 0.81, 0.83];
+        let b = [0.60, 0.63, 0.61, 0.66, 0.62, 0.64];
+        let test = paired_t_test(&a, &b).unwrap();
+        assert!(test.mean_difference > 0.15);
+        assert!(test.significant_at(0.05));
+    }
+
+    #[test]
+    fn paired_t_test_on_identical_samples_is_not_significant() {
+        let a = [0.5, 0.6, 0.7];
+        let test = paired_t_test(&a, &a).unwrap();
+        assert!(!test.significant_at(0.05));
+        assert_eq!(test.p_value, 1.0);
+    }
+
+    #[test]
+    fn paired_t_test_rejects_mismatched_lengths() {
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(paired_t_test(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn welch_test_detects_difference() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let b = [2.0, 2.1, 1.9, 2.05, 1.95];
+        let test = welch_t_test(&a, &b).unwrap();
+        assert!(test.significant_at(0.01));
+        assert!(test.mean_difference < 0.0);
+    }
+
+    #[test]
+    fn welch_test_identical_constant_samples() {
+        let a = [0.4, 0.4, 0.4];
+        let test = welch_t_test(&a, &a).unwrap();
+        assert_eq!(test.p_value, 1.0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let s = Summary::of(&[0.7, 0.72, 0.69, 0.71, 0.73]);
+        let (lo, hi) = s.confidence_interval(0.90);
+        assert!(lo < s.mean && s.mean < hi);
+        let (lo95, hi95) = s.confidence_interval(0.95);
+        assert!(lo95 <= lo && hi <= hi95);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(dof in 1_usize..50, a in -5.0_f64..5.0, b in -5.0_f64..5.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(student_t_cdf(lo, dof) <= student_t_cdf(hi, dof) + 1e-12);
+        }
+
+        #[test]
+        fn p_values_are_probabilities(
+            a in proptest::collection::vec(0.0_f64..1.0, 2..20),
+            b in proptest::collection::vec(0.0_f64..1.0, 2..20),
+        ) {
+            if let Some(test) = welch_t_test(&a, &b) {
+                prop_assert!((0.0..=1.0).contains(&test.p_value));
+            }
+        }
+
+        #[test]
+        fn summary_mean_is_bounded_by_extrema(
+            values in proptest::collection::vec(-100.0_f64..100.0, 1..50),
+        ) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.variance >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Top-k selection primitives.
+//!
+//! The workforce-requirement computation of the paper (§3.2) needs, for every
+//! deployment request, the `k` smallest workforce values in a row of the
+//! matrix `W` — either their sum (*sum-case*) or the `k`-th smallest value
+//! (*max-case*). The paper suggests min-heaps for an `O(|S| log k)` bound;
+//! this module provides exactly that plus a sort-based reference used in
+//! tests and ablation benchmarks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A float wrapper ordering NaN last so it can live inside a [`BinaryHeap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Returns the indices of the `k` smallest values, ordered by ascending
+/// value (ties broken by ascending index), using a bounded max-heap so the
+/// cost is `O(n log k)` rather than `O(n log n)`.
+///
+/// Non-finite values (`NaN`, `±∞`) are skipped: in StratRec an infinite
+/// workforce requirement means the strategy can never reach the requested
+/// threshold, so it must not be recommended. If fewer than `k` finite values
+/// exist, all of them are returned (callers detect the shortfall by length).
+#[must_use]
+pub fn k_smallest_indices(values: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Max-heap of (value, index) keeping the k smallest seen so far.
+    let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k + 1);
+    for (idx, &value) in values.iter().enumerate() {
+        if !value.is_finite() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push((OrdF64(value), idx));
+        } else if let Some(&(OrdF64(worst), worst_idx)) = heap.peek() {
+            if value < worst || (value == worst && idx < worst_idx) {
+                heap.pop();
+                heap.push((OrdF64(value), idx));
+            }
+        }
+    }
+    let mut result: Vec<(f64, usize)> = heap.into_iter().map(|(v, i)| (v.0, i)).collect();
+    result.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    result.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Sort-based reference implementation of [`k_smallest_indices`], `O(n log n)`.
+///
+/// Exists for differential testing and for the ablation benchmark comparing
+/// heap-based selection against a full sort.
+#[must_use]
+pub fn k_smallest_indices_by_sort(values: &[f64], k: usize) -> Vec<usize> {
+    let mut indexed: Vec<(f64, usize)> = values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .map(|(i, v)| (v, i))
+        .collect();
+    indexed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    indexed.truncate(k);
+    indexed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Sum of the `k` smallest finite values (the paper's *sum-case* aggregation).
+/// Returns `None` when fewer than `k` finite values exist.
+#[must_use]
+pub fn sum_of_k_smallest(values: &[f64], k: usize) -> Option<f64> {
+    let idx = k_smallest_indices(values, k);
+    if idx.len() < k {
+        return None;
+    }
+    Some(idx.iter().map(|&i| values[i]).sum())
+}
+
+/// The `k`-th smallest finite value (the paper's *max-case* aggregation).
+/// Returns `None` when fewer than `k` finite values exist.
+#[must_use]
+pub fn kth_smallest(values: &[f64], k: usize) -> Option<f64> {
+    if k == 0 {
+        return None;
+    }
+    let idx = k_smallest_indices(values, k);
+    if idx.len() < k {
+        return None;
+    }
+    Some(values[*idx.last().expect("k >= 1 so the list is non-empty")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(k_smallest_indices(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(sum_of_k_smallest(&[1.0], 0), Some(0.0));
+        assert_eq!(kth_smallest(&[1.0], 0), None);
+    }
+
+    #[test]
+    fn selects_smallest_in_order() {
+        let values = [0.5, 0.1, 0.9, 0.3, 0.2];
+        assert_eq!(k_smallest_indices(&values, 3), vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn skips_non_finite_values() {
+        let values = [f64::NAN, 0.4, f64::INFINITY, 0.2];
+        assert_eq!(k_smallest_indices(&values, 2), vec![3, 1]);
+        assert_eq!(k_smallest_indices(&values, 4), vec![3, 1]);
+    }
+
+    #[test]
+    fn sum_and_kth_match_manual_computation() {
+        let values = [0.5, 0.1, 0.9, 0.3, 0.2];
+        assert!((sum_of_k_smallest(&values, 3).unwrap() - 0.6).abs() < 1e-12);
+        assert!((kth_smallest(&values, 3).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortfall_is_signalled() {
+        let values = [0.5, f64::INFINITY];
+        assert_eq!(sum_of_k_smallest(&values, 2), None);
+        assert_eq!(kth_smallest(&values, 2), None);
+        assert_eq!(k_smallest_indices(&values, 2), vec![0]);
+    }
+
+    #[test]
+    fn ties_are_broken_by_index() {
+        let values = [0.3, 0.3, 0.3];
+        assert_eq!(k_smallest_indices(&values, 2), vec![0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn heap_matches_sort_reference(
+            values in proptest::collection::vec(-1e3_f64..1e3, 0..64),
+            k in 0_usize..20,
+        ) {
+            prop_assert_eq!(
+                k_smallest_indices(&values, k),
+                k_smallest_indices_by_sort(&values, k)
+            );
+        }
+
+        #[test]
+        fn returned_values_are_ascending(
+            values in proptest::collection::vec(0.0_f64..1.0, 0..64),
+            k in 1_usize..10,
+        ) {
+            let idx = k_smallest_indices(&values, k);
+            for pair in idx.windows(2) {
+                prop_assert!(values[pair[0]] <= values[pair[1]]);
+            }
+        }
+
+        #[test]
+        fn kth_smallest_is_max_of_selection(
+            values in proptest::collection::vec(0.0_f64..1.0, 1..64),
+            k in 1_usize..10,
+        ) {
+            if let Some(kth) = kth_smallest(&values, k) {
+                let idx = k_smallest_indices(&values, k);
+                let max = idx.iter().map(|&i| values[i]).fold(f64::MIN, f64::max);
+                prop_assert!((kth - max).abs() < 1e-12);
+            }
+        }
+    }
+}

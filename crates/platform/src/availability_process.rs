@@ -1,0 +1,255 @@
+//! Worker arrival / departure processes and availability estimation.
+//!
+//! The paper's first real-data question is "*Can worker availability be
+//! estimated and does it vary over time?*" (§5.1.1). It deploys the same
+//! HITs in three windows of the week and measures availability as the ratio
+//! `x′ / x` of workers who actually undertook the task over the maximum
+//! asked for, observing the Monday–Thursday window to be the busiest
+//! (Figure 11). This module simulates that process: workers arrive according
+//! to a window-dependent thinned Poisson process during the deployment
+//! horizon, and the same `x′ / x` estimator is applied.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+use stratrec_core::availability::AvailabilityPdf;
+use stratrec_core::error::StratRecError;
+use stratrec_core::model::TaskType;
+
+use crate::hit::HitDesign;
+use crate::worker::WorkerPool;
+
+/// The three deployment windows used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentWindow {
+    /// Friday 12am – Monday 12am.
+    Weekend,
+    /// Monday – Thursday (the busiest window in Figure 11).
+    EarlyWeek,
+    /// Thursday – Sunday.
+    LateWeek,
+}
+
+impl DeploymentWindow {
+    /// All windows in paper order (Window-1, Window-2, Window-3).
+    pub const ALL: [DeploymentWindow; 3] = [
+        DeploymentWindow::Weekend,
+        DeploymentWindow::EarlyWeek,
+        DeploymentWindow::LateWeek,
+    ];
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Weekend => "Window-1 (Fri-Mon)",
+            Self::EarlyWeek => "Window-2 (Mon-Thu)",
+            Self::LateWeek => "Window-3 (Thu-Sun)",
+        }
+    }
+
+    /// Base fraction of the recruited pool that shows up during the window.
+    /// Calibrated to the shape of Figure 11: the early-week window is the
+    /// most active, the weekend the least.
+    #[must_use]
+    pub fn base_activity(self) -> f64 {
+        match self {
+            Self::Weekend => 0.70,
+            Self::EarlyWeek => 1.05,
+            Self::LateWeek => 0.82,
+        }
+    }
+}
+
+/// An availability estimate for one (window, task type) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityEstimate {
+    /// The deployment window.
+    pub window: DeploymentWindow,
+    /// The task type deployed.
+    pub task_type: TaskType,
+    /// Availability observed per replicated HIT (the `x′ / x` ratios).
+    pub observations: Vec<f64>,
+    /// Mean of the observations.
+    pub mean: f64,
+    /// Standard error of the mean (the error bars of Figure 11).
+    pub std_err: f64,
+}
+
+impl AvailabilityEstimate {
+    /// Converts the observations into an availability pdf usable by
+    /// StratRec.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when there are no observations.
+    pub fn to_pdf(&self) -> Result<AvailabilityPdf, StratRecError> {
+        AvailabilityPdf::from_observations(&self.observations)
+    }
+}
+
+/// A simulated worker arrival/departure process over one deployment window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityProcess {
+    /// The window being simulated.
+    pub window: DeploymentWindow,
+    /// Mean session length in hours a worker stays on the platform once
+    /// arrived.
+    pub mean_session_hours: f64,
+    /// Multiplicative day/night modulation amplitude in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+}
+
+impl AvailabilityProcess {
+    /// A process with the defaults used by the reproduction's experiments.
+    #[must_use]
+    pub fn new(window: DeploymentWindow) -> Self {
+        Self {
+            window,
+            mean_session_hours: 2.0,
+            diurnal_amplitude: 0.3,
+        }
+    }
+
+    /// Simulates one HIT deployment: of the `design.max_workers` asked for,
+    /// how many qualified workers arrive (and stay past the payment
+    /// threshold) within the deployment horizon. Returns the availability
+    /// ratio `x′ / x`.
+    pub fn simulate_hit(
+        &self,
+        pool: &WorkerPool,
+        design: &HitDesign,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let recruited = pool.recruit(design.task_type, 0.9);
+        if recruited.is_empty() || design.max_workers == 0 {
+            return 0.0;
+        }
+        // Arrival intensity: workers browse many competing HITs, so the rate
+        // at which *this* HIT attracts a qualified worker scales with the
+        // window's activity and with how many workers the HIT still asks
+        // for, dampened when the recruited pool itself is small.
+        let horizon = design.deployment_hours;
+        let pool_scale = (recruited.len() as f64 / (design.max_workers as f64 * 10.0)).min(1.0);
+        let rate_per_hour = self.window.base_activity() * pool_scale * design.max_workers as f64
+            / horizon.max(1.0);
+        let exp = Exp::new(rate_per_hour.max(1e-6)).expect("positive rate");
+
+        let mut clock = 0.0_f64;
+        let mut undertaken = 0_usize;
+        while undertaken < design.max_workers {
+            clock += exp.sample(rng);
+            if clock > horizon {
+                break;
+            }
+            // Diurnal thinning: arrivals at "night" hours are dropped with a
+            // probability governed by the amplitude.
+            let phase = (clock / 24.0) * std::f64::consts::TAU;
+            let keep_probability = 1.0 - self.diurnal_amplitude * (0.5 + 0.5 * phase.sin());
+            if !rng.gen_bool(keep_probability.clamp(0.05, 1.0)) {
+                continue;
+            }
+            // The worker must stay past the payment threshold to count.
+            let session_hours = self.mean_session_hours * rng.gen_range(0.25..1.75);
+            if session_hours * 60.0 >= design.min_minutes_for_payment {
+                undertaken += 1;
+            }
+        }
+        undertaken as f64 / design.max_workers as f64
+    }
+
+    /// Runs `replicas` independent HIT deployments and aggregates them into
+    /// an [`AvailabilityEstimate`] (the paper replicates each study twice per
+    /// window and strategy, for 8 HITs per window).
+    pub fn estimate(
+        &self,
+        pool: &WorkerPool,
+        design: &HitDesign,
+        replicas: usize,
+        rng: &mut impl Rng,
+    ) -> AvailabilityEstimate {
+        let observations: Vec<f64> = (0..replicas)
+            .map(|_| self.simulate_hit(pool, design, rng))
+            .collect();
+        let summary = stratrec_optim::stats::Summary::of(&observations);
+        AvailabilityEstimate {
+            window: self.window,
+            task_type: design.task_type,
+            observations,
+            mean: summary.mean,
+            std_err: summary.std_err,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> WorkerPool {
+        WorkerPool::generate(2000, &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn availability_is_a_ratio_in_unit_interval() {
+        let pool = pool();
+        let design = HitDesign::calibration(TaskType::SentenceTranslation);
+        let mut rng = StdRng::seed_from_u64(3);
+        for window in DeploymentWindow::ALL {
+            let a = AvailabilityProcess::new(window).simulate_hit(&pool, &design, &mut rng);
+            assert!((0.0..=1.0).contains(&a), "window {window:?} gave {a}");
+        }
+    }
+
+    #[test]
+    fn early_week_window_is_the_busiest_on_average() {
+        let pool = pool();
+        let design = HitDesign::calibration(TaskType::TextCreation);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut means = Vec::new();
+        for window in DeploymentWindow::ALL {
+            let est = AvailabilityProcess::new(window).estimate(&pool, &design, 24, &mut rng);
+            means.push(est.mean);
+        }
+        // Figure 11 shape: Window-2 (index 1) dominates the other two.
+        assert!(means[1] > means[0]);
+        assert!(means[1] > means[2]);
+    }
+
+    #[test]
+    fn estimates_expose_error_bars_and_convert_to_pdf() {
+        let pool = pool();
+        let design = HitDesign::calibration(TaskType::SentenceTranslation);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est =
+            AvailabilityProcess::new(DeploymentWindow::Weekend).estimate(&pool, &design, 12, &mut rng);
+        assert_eq!(est.observations.len(), 12);
+        assert!(est.std_err >= 0.0);
+        let pdf = est.to_pdf().unwrap();
+        assert!((pdf.expectation().value() - est.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pool_or_zero_workers_yield_zero_availability() {
+        let empty = WorkerPool::default();
+        let design = HitDesign::calibration(TaskType::TextCreation);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = AvailabilityProcess::new(DeploymentWindow::Weekend)
+            .simulate_hit(&empty, &design, &mut rng);
+        assert_eq!(a, 0.0);
+        let mut zero_workers = design;
+        zero_workers.max_workers = 0;
+        let a = AvailabilityProcess::new(DeploymentWindow::Weekend)
+            .simulate_hit(&pool(), &zero_workers, &mut rng);
+        assert_eq!(a, 0.0);
+    }
+
+    #[test]
+    fn window_labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            DeploymentWindow::ALL.iter().map(|w| w.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

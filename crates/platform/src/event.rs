@@ -1,0 +1,149 @@
+//! Compact event log of a simulation run.
+//!
+//! The platform simulator can record every HIT execution as a fixed-width
+//! binary record in a [`bytes`] buffer. The log is append-only and cheap to
+//! copy (the underlying `Bytes` is reference counted), which lets long
+//! parameter sweeps in the bench harness retain full traces without paying
+//! for per-event allocations, and lets tests replay exactly what a sweep
+//! observed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::execution::ExecutionOutcome;
+
+/// One logged simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationEvent {
+    /// Identifier of the HIT executed.
+    pub hit_id: u64,
+    /// Identifier of the strategy used.
+    pub strategy_id: u64,
+    /// The measured outcome.
+    pub outcome: ExecutionOutcome,
+}
+
+/// Size of one encoded event in bytes: two u64 ids, five f64 fields and one
+/// u32 edit counter.
+const EVENT_SIZE: usize = 8 + 8 + 8 * 4 + 4;
+
+/// An append-only binary event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    buffer: BytesMut,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, event: &SimulationEvent) {
+        self.buffer.reserve(EVENT_SIZE);
+        self.buffer.put_u64_le(event.hit_id);
+        self.buffer.put_u64_le(event.strategy_id);
+        self.buffer.put_f64_le(event.outcome.quality);
+        self.buffer.put_f64_le(event.outcome.cost);
+        self.buffer.put_f64_le(event.outcome.latency);
+        self.buffer.put_f64_le(event.outcome.availability);
+        self.buffer.put_u32_le(event.outcome.edits);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buffer.len() / EVENT_SIZE
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Freezes the log into an immutable, cheaply clonable byte buffer.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        self.buffer.freeze()
+    }
+
+    /// Decodes every event back out of the log.
+    #[must_use]
+    pub fn decode_all(&self) -> Vec<SimulationEvent> {
+        let mut cursor = &self.buffer[..];
+        let mut events = Vec::with_capacity(self.len());
+        while cursor.remaining() >= EVENT_SIZE {
+            let hit_id = cursor.get_u64_le();
+            let strategy_id = cursor.get_u64_le();
+            let quality = cursor.get_f64_le();
+            let cost = cursor.get_f64_le();
+            let latency = cursor.get_f64_le();
+            let availability = cursor.get_f64_le();
+            let edits = cursor.get_u32_le();
+            events.push(SimulationEvent {
+                hit_id,
+                strategy_id,
+                outcome: ExecutionOutcome {
+                    quality,
+                    cost,
+                    latency,
+                    edits,
+                    availability,
+                },
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(hit: u64, quality: f64) -> SimulationEvent {
+        SimulationEvent {
+            hit_id: hit,
+            strategy_id: hit * 10,
+            outcome: ExecutionOutcome {
+                quality,
+                cost: 0.4,
+                latency: 0.6,
+                edits: 7,
+                availability: 0.8,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.decode_all().is_empty());
+        assert!(log.freeze().is_empty());
+    }
+
+    #[test]
+    fn round_trips_events() {
+        let mut log = EventLog::new();
+        let events = vec![event(1, 0.9), event(2, 0.75), event(3, 0.31)];
+        for e in &events {
+            log.record(e);
+        }
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.decode_all(), events);
+    }
+
+    #[test]
+    fn frozen_buffer_has_fixed_width_records() {
+        let mut log = EventLog::new();
+        log.record(&event(1, 0.5));
+        log.record(&event(2, 0.6));
+        let bytes = log.freeze();
+        assert_eq!(bytes.len(), 2 * EVENT_SIZE);
+    }
+}

@@ -1,0 +1,138 @@
+//! HITs (Human Intelligence Tasks) and their deployment design.
+//!
+//! The paper's experiment design (§5.1.1) wraps three sentence-translation
+//! or text-creation tasks into one HIT, allots two hours per HIT, asks for a
+//! fixed number of workers and pays each worker a flat rate if they spend
+//! enough time. [`HitDesign`] captures those knobs and [`Hit`] a concrete
+//! deployment of them.
+
+use serde::{Deserialize, Serialize};
+use stratrec_core::model::TaskType;
+
+/// The design parameters shared by a family of HITs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HitDesign {
+    /// Type of tasks in the HIT.
+    pub task_type: TaskType,
+    /// Number of atomic tasks bundled into one HIT (3 in the paper).
+    pub tasks_per_hit: usize,
+    /// Maximum number of workers asked to complete the HIT (10 in §5.1.1,
+    /// 7 in §5.1.2).
+    pub max_workers: usize,
+    /// Payment per worker in dollars ($2 in the paper).
+    pub payment_per_worker: f64,
+    /// Minimum minutes a worker must spend to be paid (10 in the paper).
+    pub min_minutes_for_payment: f64,
+    /// Deployment horizon in hours (72 in the paper).
+    pub deployment_hours: f64,
+}
+
+impl HitDesign {
+    /// The design used by the paper's calibration experiments (§5.1.1).
+    #[must_use]
+    pub fn calibration(task_type: TaskType) -> Self {
+        Self {
+            task_type,
+            tasks_per_hit: 3,
+            max_workers: 10,
+            payment_per_worker: 2.0,
+            min_minutes_for_payment: 10.0,
+            deployment_hours: 72.0,
+        }
+    }
+
+    /// The design used by the effectiveness experiment (§5.1.2): 7 workers
+    /// per HIT, thresholds 70 % quality / $14 / 72 h.
+    #[must_use]
+    pub fn effectiveness(task_type: TaskType) -> Self {
+        Self {
+            task_type,
+            tasks_per_hit: 1,
+            max_workers: 7,
+            payment_per_worker: 2.0,
+            min_minutes_for_payment: 10.0,
+            deployment_hours: 72.0,
+        }
+    }
+
+    /// Maximum total cost of one HIT in dollars.
+    #[must_use]
+    pub fn max_cost(&self) -> f64 {
+        self.payment_per_worker * self.max_workers as f64
+    }
+}
+
+/// One concrete HIT deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Unique identifier of the HIT.
+    pub id: u64,
+    /// The design this HIT instantiates.
+    pub design: HitDesign,
+    /// Short description of the artefact being produced (e.g. the nursery
+    /// rhyme being translated or the topic being written about).
+    pub description: String,
+}
+
+impl Hit {
+    /// Creates a HIT from a design.
+    #[must_use]
+    pub fn new(id: u64, design: HitDesign, description: impl Into<String>) -> Self {
+        Self {
+            id,
+            design,
+            description: description.into(),
+        }
+    }
+}
+
+/// The artefacts used by the paper: three nursery rhymes for translation and
+/// three news topics for text creation. Returned as (task type, description)
+/// pairs so experiments can enumerate them.
+#[must_use]
+pub fn paper_artefacts() -> Vec<(TaskType, &'static str)> {
+    vec![
+        (TaskType::SentenceTranslation, "Mary Had a Little Lamb"),
+        (TaskType::SentenceTranslation, "Lavender's Blue"),
+        (TaskType::SentenceTranslation, "Rock-a-bye Baby"),
+        (TaskType::TextCreation, "Robert Mueller Report"),
+        (TaskType::TextCreation, "Notre Dame Cathedral"),
+        (TaskType::TextCreation, "2019 Pulitzer Prizes"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_design_matches_paper() {
+        let design = HitDesign::calibration(TaskType::SentenceTranslation);
+        assert_eq!(design.tasks_per_hit, 3);
+        assert_eq!(design.max_workers, 10);
+        assert!((design.max_cost() - 20.0).abs() < 1e-12);
+        assert!((design.deployment_hours - 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_design_matches_paper() {
+        let design = HitDesign::effectiveness(TaskType::TextCreation);
+        assert_eq!(design.max_workers, 7);
+        assert!((design.max_cost() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn artefacts_cover_both_task_types() {
+        let artefacts = paper_artefacts();
+        assert_eq!(artefacts.len(), 6);
+        assert_eq!(
+            artefacts
+                .iter()
+                .filter(|(t, _)| *t == TaskType::SentenceTranslation)
+                .count(),
+            3
+        );
+        let hit = Hit::new(1, HitDesign::calibration(artefacts[0].0), artefacts[0].1);
+        assert_eq!(hit.description, "Mary Had a Little Lamb");
+    }
+}

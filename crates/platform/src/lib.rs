@@ -1,0 +1,40 @@
+//! # Crowdsourcing-platform simulator
+//!
+//! The paper's real-data experiments (§5.1) deploy text-editing tasks on
+//! Amazon Mechanical Turk: workers are recruited, redirected to shared
+//! Google Docs, and their contributions are scored by domain experts. A
+//! reproduction cannot hire crowd workers, so this crate substitutes the
+//! platform with a discrete, seeded simulator that produces the same
+//! *observables* the paper feeds into StratRec:
+//!
+//! * per-window worker availability estimates (Figure 11) —
+//!   [`availability_process`];
+//! * (availability → quality/cost/latency) observations per task type and
+//!   strategy, from which the linear `(α, β)` models of Table 6 / Figure 12
+//!   are fitted — [`execution`] and [`experiment`];
+//! * mirrored with/without-StratRec deployments and their aggregate
+//!   quality/cost/latency (Figure 13) — [`abtest`].
+//!
+//! The generative assumptions mirror what the paper validates empirically:
+//! deployment parameters are linear in worker availability, sequential
+//! independent work yields higher quality but higher latency than
+//! simultaneous collaboration, unguided simultaneous collaboration triggers
+//! "edit wars" that depress quality, and hybrid (machine-assisted) styles
+//! trade a little quality for lower latency and cost.
+
+#![forbid(unsafe_code)]
+
+pub mod abtest;
+pub mod availability_process;
+pub mod event;
+pub mod execution;
+pub mod experiment;
+pub mod hit;
+pub mod worker;
+
+pub use abtest::{AbTestConfig, AbTestResult};
+pub use availability_process::{AvailabilityEstimate, AvailabilityProcess, DeploymentWindow};
+pub use execution::{ExecutionOutcome, StrategyExecutor};
+pub use experiment::{CalibrationExperiment, FittedStrategyReport};
+pub use hit::{Hit, HitDesign};
+pub use worker::{Worker, WorkerPool};

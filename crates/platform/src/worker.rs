@@ -1,0 +1,163 @@
+//! Crowd workers and worker pools.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use stratrec_core::model::TaskType;
+
+/// A simulated crowd worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Unique identifier on the platform.
+    pub id: u64,
+    /// Task types the worker is qualified for (the paper performs "a binary
+    /// match between workers' skills and task types").
+    pub skills: Vec<TaskType>,
+    /// HIT-approval-rate style reliability in `[0, 1]`; workers below the
+    /// recruitment threshold (0.9 in §5.1) are filtered out before
+    /// deployment.
+    pub approval_rate: f64,
+    /// Intrinsic contribution quality in `[0, 1]` (how close to a domain
+    /// expert this worker's unaided output is).
+    pub proficiency: f64,
+    /// Relative working speed; 1.0 is the population median.
+    pub speed: f64,
+}
+
+impl Worker {
+    /// Whether the worker can undertake tasks of the given type.
+    #[must_use]
+    pub fn is_qualified_for(&self, task: TaskType) -> bool {
+        self.skills.contains(&task)
+    }
+}
+
+/// A pool of registered workers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Creates a pool from explicit workers.
+    #[must_use]
+    pub fn new(workers: Vec<Worker>) -> Self {
+        Self { workers }
+    }
+
+    /// Generates a synthetic pool of `size` workers. Proficiency, approval
+    /// rate and speed follow simple bounded distributions; each worker is
+    /// qualified for one or two task types.
+    #[must_use]
+    pub fn generate(size: usize, rng: &mut impl Rng) -> Self {
+        let workers = (0..size)
+            .map(|id| {
+                let mut skills = vec![*pick(&TaskType::ALL, rng)];
+                if rng.gen_bool(0.4) {
+                    let extra = *pick(&TaskType::ALL, rng);
+                    if !skills.contains(&extra) {
+                        skills.push(extra);
+                    }
+                }
+                Worker {
+                    id: id as u64,
+                    skills,
+                    approval_rate: rng.gen_range(0.6..1.0),
+                    proficiency: rng.gen_range(0.5..0.95),
+                    speed: rng.gen_range(0.6..1.4),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+
+    /// All workers in the pool.
+    #[must_use]
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Number of registered workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool has no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Workers qualified for a task type with at least the given approval
+    /// rate — the recruitment filter of §5.1 ("HIT approval rate greater than
+    /// 90%").
+    #[must_use]
+    pub fn recruit(&self, task: TaskType, min_approval: f64) -> Vec<&Worker> {
+        self.workers
+            .iter()
+            .filter(|w| w.is_qualified_for(task) && w.approval_rate >= min_approval)
+            .collect()
+    }
+
+    /// Size of the *suitable* pool for a task type (no approval filter).
+    #[must_use]
+    pub fn suitable_count(&self, task: TaskType) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.is_qualified_for(task))
+            .count()
+    }
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut impl Rng) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_pool_has_requested_size_and_valid_fields() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = WorkerPool::generate(500, &mut rng);
+        assert_eq!(pool.len(), 500);
+        assert!(!pool.is_empty());
+        for w in pool.workers() {
+            assert!(!w.skills.is_empty() && w.skills.len() <= 2);
+            assert!((0.0..=1.0).contains(&w.approval_rate));
+            assert!((0.0..=1.0).contains(&w.proficiency));
+            assert!(w.speed > 0.0);
+        }
+    }
+
+    #[test]
+    fn recruitment_filters_by_skill_and_approval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = WorkerPool::generate(1000, &mut rng);
+        let recruited = pool.recruit(TaskType::SentenceTranslation, 0.9);
+        assert!(!recruited.is_empty());
+        for w in &recruited {
+            assert!(w.is_qualified_for(TaskType::SentenceTranslation));
+            assert!(w.approval_rate >= 0.9);
+        }
+        assert!(recruited.len() <= pool.suitable_count(TaskType::SentenceTranslation));
+    }
+
+    #[test]
+    fn empty_pool_behaves() {
+        let pool = WorkerPool::default();
+        assert!(pool.is_empty());
+        assert_eq!(pool.suitable_count(TaskType::TextCreation), 0);
+        assert!(pool.recruit(TaskType::TextCreation, 0.0).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = WorkerPool::generate(50, &mut StdRng::seed_from_u64(7));
+        let b = WorkerPool::generate(50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

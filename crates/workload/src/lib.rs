@@ -1,0 +1,27 @@
+//! # Synthetic workload generators
+//!
+//! Reproduces the synthetic-data setup of the paper's §5.2:
+//!
+//! * **Strategy generation** — strategy parameter triples drawn either
+//!   uniformly from `[0.5, 1]` or from a normal distribution with mean 0.75
+//!   and standard deviation 0.1 ([`strategy_gen`]).
+//! * **Worker-availability models** — one `(α, β)` pair per strategy with
+//!   `α ∈ [0.5, 1]` uniform and `β = 1 − α`, so the estimated availability
+//!   requirement stays within `[0, 1]` ([`model_gen`]).
+//! * **Deployment requests** — parameter triples drawn from `[0.625, 1]`
+//!   ([`request_gen`]).
+//! * **Experiment scenarios** — the default parameter grids of Figures 14–18
+//!   (`|S| = 10 000`, `m = 10`, `k = 10`, `W = 0.5`, and the reduced
+//!   brute-force grids) ([`scenario`]).
+
+#![forbid(unsafe_code)]
+
+pub mod model_gen;
+pub mod request_gen;
+pub mod scenario;
+pub mod strategy_gen;
+
+pub use model_gen::generate_models;
+pub use request_gen::generate_requests;
+pub use scenario::{AdparScenario, BatchScenario, ParameterDistribution};
+pub use strategy_gen::generate_strategies;

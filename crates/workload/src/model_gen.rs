@@ -1,0 +1,63 @@
+//! Synthetic worker-availability models (paper §5.2.2).
+//!
+//! "For a strategy, we generate α uniformly from an interval `[0.5, 1]`.
+//! Then, we set `β = 1 − α` to make sure that the estimated worker
+//! availability W is within `[0, 1]`."
+
+use rand::Rng;
+use stratrec_core::model::Strategy;
+use stratrec_core::modeling::{ModelLibrary, StrategyModel};
+
+/// Generates one `(α, β = 1 − α)` model per strategy, with `α ∈ [0.5, 1]`.
+pub fn generate_models(strategies: &[Strategy], rng: &mut impl Rng) -> ModelLibrary {
+    let mut library = ModelLibrary::new();
+    for strategy in strategies {
+        let alpha = rng.gen_range(0.5..=1.0);
+        library.insert(strategy.id, StrategyModel::uniform(alpha, 1.0 - alpha));
+    }
+    library
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ParameterDistribution;
+    use crate::strategy_gen::generate_strategies;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stratrec_core::model::DeploymentParameters;
+
+    #[test]
+    fn every_strategy_gets_a_model_with_valid_coefficients() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strategies = generate_strategies(100, ParameterDistribution::Uniform, &mut rng);
+        let models = generate_models(&strategies, &mut rng);
+        assert_eq!(models.len(), strategies.len());
+        for s in &strategies {
+            let m = models.get(s.id).unwrap();
+            assert!((0.5..=1.0).contains(&m.quality.alpha));
+            assert!((m.quality.alpha + m.quality.beta - 1.0).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn requirements_for_paper_range_requests_stay_in_unit_interval(
+            seed in 0_u64..500,
+            threshold in 0.625_f64..1.0,
+        ) {
+            // With α ∈ [0.5, 1], β = 1 − α and thresholds in [0.625, 1], the
+            // workforce requirement (threshold − β) / α is always in [0, 1] —
+            // the property the paper's construction is designed to guarantee.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let strategies = generate_strategies(20, ParameterDistribution::Uniform, &mut rng);
+            let models = generate_models(&strategies, &mut rng);
+            let request = DeploymentParameters::clamped(threshold, 1.0, 1.0);
+            for s in &strategies {
+                let w = models.get(s.id).unwrap().required_workforce(&request);
+                prop_assert!((0.0..=1.0).contains(&w), "requirement {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Synthetic deployment-request generation (paper §5.2.2).
+//!
+//! "Once W is estimated, the quality, latency, and cost — i.e., the
+//! deployment parameters — are generated in the interval `[0.625, 1]`. For
+//! each experiment, 10 deployment parameters are generated, and an average of
+//! 10 runs is presented in the results."
+
+use rand::Rng;
+use stratrec_core::model::{DeploymentParameters, DeploymentRequest, TaskType};
+
+/// Generates `count` deployment requests with parameters drawn uniformly from
+/// `[0.625, 1]` (the paper's synthetic range).
+pub fn generate_requests(count: usize, rng: &mut impl Rng) -> Vec<DeploymentRequest> {
+    generate_requests_in_range(count, 0.625, 1.0, rng)
+}
+
+/// Generates requests with parameters drawn uniformly from `[lo, hi]`,
+/// clamped into `[0, 1]`.
+pub fn generate_requests_in_range(
+    count: usize,
+    lo: f64,
+    hi: f64,
+    rng: &mut impl Rng,
+) -> Vec<DeploymentRequest> {
+    let lo = lo.clamp(0.0, 1.0);
+    let hi = hi.clamp(lo, 1.0);
+    (0..count)
+        .map(|id| {
+            let mut draw = || {
+                if (hi - lo).abs() < f64::EPSILON {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            };
+            DeploymentRequest::new(
+                id as u64,
+                TaskType::SentenceTranslation,
+                DeploymentParameters::clamped(draw(), draw(), draw()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_range_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let requests = generate_requests(200, &mut rng);
+        assert_eq!(requests.len(), 200);
+        for r in &requests {
+            for v in [r.params.quality, r.params.cost, r.params.latency] {
+                assert!((0.625..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let requests = generate_requests(5, &mut rng);
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_produces_constant_parameters() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let requests = generate_requests_in_range(3, 0.7, 0.7, &mut rng);
+        for r in &requests {
+            assert_eq!(r.params.quality, 0.7);
+            assert_eq!(r.params.cost, 0.7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn custom_ranges_are_respected_and_clamped(
+            seed in 0_u64..200,
+            lo in -0.5_f64..1.5,
+            hi in -0.5_f64..1.5,
+            count in 0_usize..50,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let requests = generate_requests_in_range(count, lo, hi, &mut rng);
+            prop_assert_eq!(requests.len(), count);
+            for r in &requests {
+                prop_assert!((0.0..=1.0).contains(&r.params.quality));
+                prop_assert!((0.0..=1.0).contains(&r.params.cost));
+                prop_assert!((0.0..=1.0).contains(&r.params.latency));
+            }
+        }
+    }
+}

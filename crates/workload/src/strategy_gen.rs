@@ -1,0 +1,100 @@
+//! Synthetic deployment-strategy generation (paper §5.2.2).
+//!
+//! "The dimension values of a strategy are generated considering uniform and
+//! normal distributions. For the normal distribution, the mean and standard
+//! deviation are set to 0.75 and 0.1, respectively. We randomly pick the
+//! value from 0.5 to 1 for the uniform distribution."
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use stratrec_core::model::{DeploymentParameters, Strategy};
+
+use crate::scenario::ParameterDistribution;
+
+/// Generates `count` strategies whose quality / cost / latency values are
+/// drawn independently from `distribution`. All values are clamped into
+/// `[0, 1]`.
+pub fn generate_strategies(
+    count: usize,
+    distribution: ParameterDistribution,
+    rng: &mut impl Rng,
+) -> Vec<Strategy> {
+    let normal = Normal::<f64>::new(0.75, 0.1).expect("valid normal parameters");
+    (0..count)
+        .map(|id| {
+            let mut draw = || match distribution {
+                ParameterDistribution::Uniform => rng.gen_range(0.5..1.0),
+                ParameterDistribution::Normal => normal.sample(rng).clamp(0.0, 1.0),
+            };
+            let params = DeploymentParameters::clamped(draw(), draw(), draw());
+            Strategy::from_params(id as u64, params)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stratrec_optim::stats::Summary;
+
+    #[test]
+    fn uniform_strategies_stay_in_half_open_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strategies = generate_strategies(500, ParameterDistribution::Uniform, &mut rng);
+        assert_eq!(strategies.len(), 500);
+        for s in &strategies {
+            for v in [s.params.quality, s.params.cost, s.params.latency] {
+                assert!((0.5..1.0).contains(&v), "value {v} outside [0.5, 1)");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_strategies_concentrate_around_0_75() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strategies = generate_strategies(2000, ParameterDistribution::Normal, &mut rng);
+        let qualities: Vec<f64> = strategies.iter().map(|s| s.params.quality).collect();
+        let summary = Summary::of(&qualities);
+        assert!((summary.mean - 0.75).abs() < 0.02);
+        assert!((summary.std_dev - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strategies = generate_strategies(10, ParameterDistribution::Uniform, &mut rng);
+        for (i, s) in strategies.iter().enumerate() {
+            assert_eq!(s.id.0, i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_count_is_fine() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(generate_strategies(0, ParameterDistribution::Normal, &mut rng).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn generated_parameters_are_always_normalized(
+            seed in 0_u64..1000,
+            count in 0_usize..200,
+            normal in proptest::bool::ANY,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dist = if normal {
+                ParameterDistribution::Normal
+            } else {
+                ParameterDistribution::Uniform
+            };
+            for s in generate_strategies(count, dist, &mut rng) {
+                prop_assert!((0.0..=1.0).contains(&s.params.quality));
+                prop_assert!((0.0..=1.0).contains(&s.params.cost));
+                prop_assert!((0.0..=1.0).contains(&s.params.latency));
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run the paper's running example (Table 1) through the full
+//! StratRec middle layer.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use stratrec::core::availability::AvailabilityPdf;
+use stratrec::core::batch::BatchObjective;
+use stratrec::core::prelude::*;
+use stratrec::core::stratrec::StratRecConfig;
+
+fn main() {
+    // Three deployment requests and four strategies, straight from the paper.
+    let strategies = stratrec::core::examples_data::running_example_strategies();
+    let requests = stratrec::core::examples_data::running_example_requests();
+    let models = stratrec::core::examples_data::running_example_models();
+
+    // Historical data says: 50% chance of 70% availability, 50% chance of 90%.
+    let availability = AvailabilityPdf::new(&[(0.7, 0.5), (0.9, 0.5)]).expect("valid pdf");
+
+    let layer = StratRec::new(StratRecConfig {
+        k: 3,
+        objective: BatchObjective::Throughput,
+        aggregation: AggregationMode::Max,
+    });
+    let report = layer
+        .process_batch(&requests, &strategies, &models, &availability)
+        .expect("every strategy has a model");
+
+    println!(
+        "Expected worker availability: {:.2}",
+        report.availability.value()
+    );
+    for rec in &report.batch.satisfied {
+        let names: Vec<String> = rec
+            .strategy_indices
+            .iter()
+            .map(|&i| strategies[i].name())
+            .collect();
+        println!(
+            "request d{} satisfied with k={} strategies: {}",
+            requests[rec.request_index].id.0,
+            rec.strategy_indices.len(),
+            names.join(", ")
+        );
+    }
+    for alternative in &report.alternatives {
+        let request = &requests[alternative.request_index];
+        match &alternative.solution {
+            Ok(solution) => println!(
+                "request d{} cannot be satisfied; closest alternative parameters: \
+                 quality >= {:.2}, cost <= {:.2}, latency <= {:.2} (distance {:.3})",
+                request.id.0,
+                solution.alternative.quality,
+                solution.alternative.cost,
+                solution.alternative.latency,
+                solution.distance
+            ),
+            Err(err) => println!("request d{}: {err}", request.id.0),
+        }
+    }
+}
