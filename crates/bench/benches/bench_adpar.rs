@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use stratrec_core::adpar::{
-    AdparBaseline2, AdparBaseline3, AdparExact, AdparProblem, AdparSolver,
-};
+use stratrec_core::adpar::{AdparBaseline2, AdparBaseline3, AdparExact, AdparProblem, AdparSolver};
 use stratrec_workload::scenario::AdparScenario;
 
 fn bench_exact_vs_strategy_count(c: &mut Criterion) {

@@ -90,8 +90,11 @@ pub fn run_panel(
                     ..scenario
                 }
                 .materialize();
-                let problem =
-                    AdparProblem::new(&instance.request, &instance.strategies, instance.k);
+                // All four solvers share the instance's indexed catalog;
+                // Baseline3 reuses its R-tree instead of bulk-loading one
+                // per solve.
+                let catalog = instance.catalog();
+                let problem = AdparProblem::with_catalog(&instance.request, &catalog, instance.k);
                 exact += AdparExact.solve(&problem).expect("|S| >= k").distance;
                 baseline2 += AdparBaseline2.solve(&problem).expect("|S| >= k").distance;
                 baseline3 += AdparBaseline3::default()
@@ -162,7 +165,10 @@ mod tests {
     fn panel_metadata_is_consistent() {
         assert_eq!(AdparPanel::K.label(), "k");
         assert_eq!(AdparPanel::StrategyCount.paper_values(false).len(), 5);
-        assert_eq!(AdparPanel::StrategyCount.paper_values(true), vec![10, 20, 30]);
+        assert_eq!(
+            AdparPanel::StrategyCount.paper_values(true),
+            vec![10, 20, 30]
+        );
         let points = run_panel(AdparPanel::StrategyCount, small_base(), false, 1);
         assert_eq!(points.len(), 5);
         assert!(points.iter().all(|p| p.brute_force.is_none()));

@@ -42,7 +42,10 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("Figure 14 — % satisfied requests, varying {}", variable.label()),
+                &format!(
+                    "Figure 14 — % satisfied requests, varying {}",
+                    variable.label()
+                ),
                 &[variable.label(), "Uniform", "Normal"],
                 &rows
             )

@@ -23,7 +23,10 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("Figure 15 — aggregated throughput, varying {}", panel.label()),
+                &format!(
+                    "Figure 15 — aggregated throughput, varying {}",
+                    panel.label()
+                ),
                 &[panel.label(), "BruteForce", "BatchStrat", "BaselineG"],
                 &rows
             )

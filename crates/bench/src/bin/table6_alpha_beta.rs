@@ -27,7 +27,14 @@ fn main() {
         "{}",
         render_table(
             "Table 6 — α, β estimation (simulated deployments)",
-            &["Task-Strategy", "Parameter", "alpha", "beta", "alpha 90% CI", "R^2"],
+            &[
+                "Task-Strategy",
+                "Parameter",
+                "alpha",
+                "beta",
+                "alpha 90% CI",
+                "R^2"
+            ],
             &rows
         )
     );

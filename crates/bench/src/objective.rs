@@ -93,6 +93,10 @@ pub fn run_panel(
                     ..scenario
                 }
                 .materialize();
+                // This experiment runs under `EligibilityRule::ModelOnly`,
+                // where every cell is feasible by definition — the catalog's
+                // R-tree would never be queried, so the scan path is used
+                // deliberately here.
                 for (slot, algorithm) in [
                     BatchAlgorithm::BruteForce,
                     BatchAlgorithm::BatchStrat,

@@ -2,10 +2,9 @@
 //!
 //! Thin drivers over `stratrec-platform` that collect the rows the figure
 //! binaries print. The with/without-StratRec comparison (Figure 13) runs the
-//! two task types on separate threads via `crossbeam` scoped threads, since
-//! each arm simulates hundreds of HIT executions.
+//! two task types on separate `std::thread::scope` threads, since each arm
+//! simulates hundreds of HIT executions.
 
-use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 use stratrec_core::model::TaskType;
 use stratrec_platform::abtest::{run_ab_test, AbTestConfig, AbTestResult};
@@ -58,17 +57,16 @@ pub fn table6(seed: u64) -> Vec<FittedStrategyReport> {
 #[must_use]
 pub fn figure13(config: &AbTestConfig) -> Vec<AbTestResult> {
     let tasks = [TaskType::SentenceTranslation, TaskType::TextCreation];
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .iter()
-            .map(|&task| scope.spawn(move |_| run_ab_test(task, config)))
+            .map(|&task| scope.spawn(move || run_ab_test(task, config)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("ab-test thread panicked"))
             .collect()
     })
-    .expect("crossbeam scope")
 }
 
 #[cfg(test)]

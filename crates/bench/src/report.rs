@@ -28,7 +28,12 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         let line: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, cell)| format!("{cell:<width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, cell)| {
+                format!(
+                    "{cell:<width$}",
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect();
         out.push_str(&line.join("  "));
         out.push('\n');

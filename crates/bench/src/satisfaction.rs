@@ -13,7 +13,7 @@
 //! Figures 15 and 16.
 
 use serde::{Deserialize, Serialize};
-use stratrec_core::workforce::{AggregationMode, WorkforceMatrix};
+use stratrec_core::workforce::{AggregationMode, EligibilityRule, WorkforceMatrix};
 use stratrec_workload::scenario::{BatchScenario, ParameterDistribution};
 
 /// Which scenario knob a sweep varies.
@@ -119,10 +119,14 @@ pub fn average_satisfaction(
                 ..scenario
             }
             .materialize();
-            let matrix = WorkforceMatrix::compute(
+            // Index the strategy set once per instance; eligibility for all
+            // m requests is then answered by R-tree box queries.
+            let catalog = instance.catalog();
+            let matrix = WorkforceMatrix::compute_with_catalog(
                 &instance.requests,
-                &instance.strategies,
+                &catalog,
                 &instance.models,
+                EligibilityRule::default(),
             )
             .expect("generated models cover every strategy");
             let requirements = matrix.aggregate(scenario.k, AggregationMode::Max);
@@ -227,7 +231,10 @@ mod tests {
             ParameterDistribution::Uniform,
             5,
         );
-        assert!(small_k + 1e-9 >= large_k, "small_k={small_k}, large_k={large_k}");
+        assert!(
+            small_k + 1e-9 >= large_k,
+            "small_k={small_k}, large_k={large_k}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use stratrec_geometry::{Aabb3, Point3, RTree};
 
 use crate::adpar::{AdparProblem, AdparSolution, AdparSolver};
 use crate::error::StratRecError;
-use crate::model::DeploymentParameters;
+use crate::model::{DeploymentParameters, Strategy};
 
 /// The R-tree MBB baseline solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +41,28 @@ impl AdparSolver for AdparBaseline3 {
         let k = problem.k;
 
         // Index strategies as points in the normalized minimization space.
-        let points: Vec<Point3> = problem
-            .strategies
-            .iter()
-            .map(|s| s.to_normalized_point())
-            .collect();
-        let tree = RTree::bulk_load_with_capacity(&points, self.node_capacity);
+        // Problems built over a shared `StrategyCatalog` already carry that
+        // index; reuse it (identical tree: same points, same capacity, same
+        // bulk-load) instead of re-normalizing and re-loading per solve.
+        let owned;
+        let tree: &RTree = match problem.catalog() {
+            Some(catalog) if catalog.index().node_capacity() == self.node_capacity => {
+                catalog.index()
+            }
+            Some(catalog) => {
+                owned = RTree::bulk_load_with_capacity(catalog.points(), self.node_capacity);
+                &owned
+            }
+            None => {
+                let points: Vec<Point3> = problem
+                    .strategies
+                    .iter()
+                    .map(Strategy::to_normalized_point)
+                    .collect();
+                owned = RTree::bulk_load_with_capacity(&points, self.node_capacity);
+                &owned
+            }
+        };
 
         // Scan all node MBBs: prefer one containing exactly k points,
         // otherwise the smallest one containing at least k.

@@ -25,7 +25,7 @@ impl AdparSolver for AdparBruteForce {
         let mut best: Option<(f64, Point3)> = None;
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
         enumerate_subsets(
-            &relaxations,
+            relaxations,
             k,
             0,
             Point3::origin(),

@@ -30,11 +30,18 @@ pub use exact::AdparExact;
 use serde::{Deserialize, Serialize};
 use stratrec_geometry::Point3;
 
+use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
 use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
 
 /// An ADPaR problem instance: one unsatisfied request, the strategy set and
 /// the cardinality constraint `k`.
+///
+/// The per-strategy relaxation vectors are computed **once** at construction
+/// and cached (the seed recomputed them on every [`Self::relaxations`] /
+/// [`Self::covered_by`] call). Problems built with [`Self::with_catalog`]
+/// additionally share the catalog's pre-normalized points and R-tree, which
+/// lets [`AdparBaseline3`] skip its per-solve bulk load.
 #[derive(Debug, Clone)]
 pub struct AdparProblem<'a> {
     /// The request whose parameters need relaxing.
@@ -43,17 +50,50 @@ pub struct AdparProblem<'a> {
     pub strategies: &'a [Strategy],
     /// Number of strategies the alternative parameters must admit.
     pub k: usize,
+    /// Cached per-strategy relaxation vectors (paper §4.1, step 1).
+    relaxations: Vec<Point3>,
+    /// Shared catalog, when the problem was built from one.
+    catalog: Option<&'a StrategyCatalog>,
 }
 
 impl<'a> AdparProblem<'a> {
-    /// Creates a problem instance.
+    /// Creates a problem instance over a plain strategy slice.
     #[must_use]
     pub fn new(request: &'a DeploymentRequest, strategies: &'a [Strategy], k: usize) -> Self {
+        let relaxations = compute_relaxations(request, strategies);
         Self {
             request,
             strategies,
             k,
+            relaxations,
+            catalog: None,
         }
+    }
+
+    /// Creates a problem instance over a shared [`StrategyCatalog`],
+    /// reusing its pre-normalized points and R-tree index. The solution of
+    /// every solver is identical to the plain [`Self::new`] construction.
+    #[must_use]
+    pub fn with_catalog(
+        request: &'a DeploymentRequest,
+        catalog: &'a StrategyCatalog,
+        k: usize,
+    ) -> Self {
+        let strategies = catalog.strategies();
+        let relaxations = compute_relaxations(request, strategies);
+        Self {
+            request,
+            strategies,
+            k,
+            relaxations,
+            catalog: Some(catalog),
+        }
+    }
+
+    /// The shared catalog this problem was built from, if any.
+    #[must_use]
+    pub fn catalog(&self) -> Option<&'a StrategyCatalog> {
+        self.catalog
     }
 
     /// Validates the instance: `k ≥ 1` and at least `k` strategies exist.
@@ -83,13 +123,11 @@ impl<'a> AdparProblem<'a> {
     /// Axis mapping: `x` = quality relaxation (decrease of the quality lower
     /// bound), `y` = cost relaxation (increase of the budget), `z` = latency
     /// relaxation (increase of the deadline).
+    ///
+    /// Computed once at construction; this accessor is free.
     #[must_use]
-    pub fn relaxations(&self) -> Vec<Point3> {
-        let d = &self.request.params;
-        self.strategies
-            .iter()
-            .map(|s| relaxation_of(&s.params, d))
-            .collect()
+    pub fn relaxations(&self) -> &[Point3] {
+        &self.relaxations
     }
 
     /// Converts a chosen relaxation vector back into concrete alternative
@@ -108,13 +146,22 @@ impl<'a> AdparProblem<'a> {
     /// own relaxation is component-wise ≤ the given one).
     #[must_use]
     pub fn covered_by(&self, relaxation: Point3) -> Vec<usize> {
-        self.relaxations()
+        self.relaxations
             .iter()
             .enumerate()
             .filter(|(_, r)| r.is_covered_by(&relaxation, 1e-9))
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// Computes the per-strategy relaxation vectors of a request.
+fn compute_relaxations(request: &DeploymentRequest, strategies: &[Strategy]) -> Vec<Point3> {
+    let d = &request.params;
+    strategies
+        .iter()
+        .map(|s| relaxation_of(&s.params, d))
+        .collect()
 }
 
 /// The relaxation vector needed for a strategy with parameters `s` to become
@@ -198,7 +245,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_instances() {
         let (request, strategies) = problem_fixture();
-        assert!(AdparProblem::new(&request, &strategies, 3).validate().is_ok());
+        assert!(AdparProblem::new(&request, &strategies, 3)
+            .validate()
+            .is_ok());
         assert!(matches!(
             AdparProblem::new(&request, &strategies, 0).validate(),
             Err(StratRecError::ZeroCardinality)

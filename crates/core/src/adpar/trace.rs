@@ -97,7 +97,7 @@ impl AdparTrace {
     /// Propagates the validation errors of [`AdparExact::solve`].
     pub fn compute(problem: &AdparProblem<'_>) -> Result<Self, StratRecError> {
         let solution = AdparExact.solve(problem)?;
-        let relaxations = problem.relaxations();
+        let relaxations = problem.relaxations().to_vec();
 
         let sweep = SweepList::all_axes(&relaxations);
         let sorted_events = sweep

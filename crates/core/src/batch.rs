@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use stratrec_optim::knapsack::{self, KnapsackItem};
 
 use crate::availability::WorkerAvailability;
+use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, RequestId, Strategy};
 use crate::modeling::{ModelLibrary, StrategyModel};
@@ -175,6 +176,29 @@ impl BatchStrat {
         Ok(self.recommend_from_matrix(requests, &matrix, k, availability))
     }
 
+    /// Recommends strategies for a batch against an indexed
+    /// [`StrategyCatalog`], answering eligibility through the catalog's
+    /// R-tree instead of scanning every strategy per request. Produces an
+    /// outcome identical to [`Self::recommend_with_models`] over
+    /// `catalog.strategies()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a catalog strategy lacks
+    /// a model.
+    pub fn recommend_with_catalog(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        k: usize,
+        availability: WorkerAvailability,
+    ) -> Result<BatchOutcome, StratRecError> {
+        let matrix =
+            WorkforceMatrix::compute_with_catalog(requests, catalog, models, self.eligibility)?;
+        Ok(self.recommend_from_matrix(requests, &matrix, k, availability))
+    }
+
     /// Recommends strategies given a pre-computed workforce matrix. This is
     /// the entry point used by the synthetic experiments, which generate the
     /// matrix from sampled `(α, β)` pairs directly.
@@ -316,7 +340,11 @@ mod tests {
             request(2, 0.6, 0.3, 0.9),
             request(3, 0.6, 0.5, 0.9),
         ];
-        let requirements = vec![requirement(0, 0.6), requirement(1, 0.3), requirement(2, 0.5)];
+        let requirements = vec![
+            requirement(0, 0.6),
+            requirement(1, 0.3),
+            requirement(2, 0.5),
+        ];
         let engine = BatchStrat::new(BatchObjective::Payoff, AggregationMode::Sum);
         let outcome = engine.select(&requests, &requirements, avail(0.8));
         // Optimal subsets within capacity 0.8: {0} (0.9) vs {1,2} (0.8).
@@ -333,8 +361,11 @@ mod tests {
             .map(|i| requirement(i, 0.05 + 0.07 * i as f64))
             .collect();
         for w in [0.1, 0.3, 0.5, 0.8] {
-            let greedy = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum)
-                .select(&requests, &requirements, avail(w));
+            let greedy = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum).select(
+                &requests,
+                &requirements,
+                avail(w),
+            );
             let brute = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum)
                 .with_algorithm(BatchAlgorithm::BruteForce)
                 .select(&requests, &requirements, avail(w));
@@ -370,13 +401,20 @@ mod tests {
             request(2, 0.5, 0.5, 0.5),
             request(3, 0.5, 0.5, 0.5),
         ];
-        let requirements = vec![requirement(0, 0.5), requirement(1, 0.6), requirement(2, 0.1)];
+        let requirements = vec![
+            requirement(0, 0.5),
+            requirement(1, 0.6),
+            requirement(2, 0.1),
+        ];
         let baseline = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum)
             .with_algorithm(BatchAlgorithm::BaselineG)
             .select(&requests, &requirements, avail(0.6));
         assert_eq!(baseline.satisfied.len(), 2);
-        let strat = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum)
-            .select(&requests, &requirements, avail(0.6));
+        let strat = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum).select(
+            &requests,
+            &requirements,
+            avail(0.6),
+        );
         assert_eq!(strat.satisfied.len(), 2); // ascending-workforce order: idx2 then idx0
     }
 

@@ -1,0 +1,195 @@
+//! Shared, indexed view of the platform's strategy set.
+//!
+//! The seed implementation re-derived everything per request: `BatchStrat`
+//! decided eligibility by scanning all `|S|` strategies for every deployment
+//! request (`O(m · |S|)` parameter comparisons per batch), and every ADPaR
+//! problem re-normalized the full strategy set from scratch — `Baseline3`
+//! even bulk-loaded a fresh R-tree per call. A [`StrategyCatalog`] performs
+//! that work **once**: strategies are normalized into the minimization space
+//! (`quality` inverted so smaller is better on every axis, exactly as ADPaR's
+//! §4.1 normalization does) and bulk-loaded into a
+//! [`stratrec_geometry::RTree`]. The catalog is then shared by reference
+//! across the whole pipeline:
+//!
+//! * per-request eligibility becomes an R-tree box query
+//!   ([`Self::eligible_for`]) instead of a linear scan;
+//! * ADPaR problems built with [`crate::adpar::AdparProblem::with_catalog`]
+//!   reuse the pre-normalized points and the shared index (`Baseline3` skips
+//!   its per-solve bulk load entirely);
+//! * [`crate::stratrec::StratRec`] fans unsatisfied requests out to ADPaR in
+//!   parallel over the same shared catalog.
+//!
+//! All catalog-backed paths return results **identical** to the linear-scan
+//! paths (the R-tree query is a conservative candidate filter followed by the
+//! exact [`DeploymentParameters::satisfies`] predicate); the parity tests in
+//! `tests/catalog_parity.rs` pin this down.
+
+use serde::{Deserialize, Serialize};
+use stratrec_geometry::{Aabb3, Point3, RTree};
+
+use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
+
+/// A strategy set normalized once and indexed for box queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyCatalog {
+    strategies: Vec<Strategy>,
+    points: Vec<Point3>,
+    index: RTree,
+}
+
+/// Margin added to eligibility query boxes so the R-tree pass is a strict
+/// superset of [`DeploymentParameters::satisfies`] (which tolerates `1e-9`
+/// on every axis); candidates are then confirmed with the exact predicate,
+/// so catalog eligibility is identical to the linear scan.
+const QUERY_MARGIN: f64 = 2e-9;
+
+impl StrategyCatalog {
+    /// Builds a catalog owning `strategies`, normalizing every strategy into
+    /// the minimization space and bulk-loading the R-tree index.
+    #[must_use]
+    pub fn new(strategies: Vec<Strategy>) -> Self {
+        let points: Vec<Point3> = strategies
+            .iter()
+            .map(Strategy::to_normalized_point)
+            .collect();
+        let index = RTree::bulk_load(&points);
+        Self {
+            strategies,
+            points,
+            index,
+        }
+    }
+
+    /// Builds a catalog from a borrowed strategy slice (cloning it).
+    #[must_use]
+    pub fn from_slice(strategies: &[Strategy]) -> Self {
+        Self::new(strategies.to_vec())
+    }
+
+    /// The indexed strategies, in their original order.
+    #[must_use]
+    pub fn strategies(&self) -> &[Strategy] {
+        &self.strategies
+    }
+
+    /// The pre-normalized strategy points (parallel to
+    /// [`Self::strategies`]): `(1 − quality, cost, latency)`.
+    #[must_use]
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// The shared R-tree over [`Self::points`].
+    #[must_use]
+    pub fn index(&self) -> &RTree {
+        &self.index
+    }
+
+    /// Number of strategies in the catalog.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strategies.is_empty()
+    }
+
+    /// Indices of the strategies satisfying the request thresholds `params`,
+    /// ascending — exactly the set (and order) of
+    /// [`DeploymentRequest::eligible_strategies`], found through the index.
+    ///
+    /// A strategy satisfies a request when, in the normalized minimization
+    /// space, its point is covered by the request's point. That makes
+    /// eligibility an origin-anchored box query whose top-right corner is the
+    /// request point; the box is inflated by [`QUERY_MARGIN`] and candidates
+    /// are confirmed with the exact epsilon-tolerant predicate.
+    #[must_use]
+    pub fn eligible_for(&self, params: &DeploymentParameters) -> Vec<usize> {
+        let corner = params.to_normalized_point();
+        let query = Aabb3::anchored_at_origin(Point3::new(
+            corner.x + QUERY_MARGIN,
+            corner.y + QUERY_MARGIN,
+            corner.z + QUERY_MARGIN,
+        ));
+        let mut eligible = self.index.query_box(&query);
+        eligible.retain(|&i| self.strategies[i].params.satisfies(params));
+        eligible
+    }
+
+    /// [`Self::eligible_for`] over a deployment request.
+    #[must_use]
+    pub fn eligible_for_request(&self, request: &DeploymentRequest) -> Vec<usize> {
+        self.eligible_for(&request.params)
+    }
+}
+
+impl From<Vec<Strategy>> for StrategyCatalog {
+    fn from(strategies: Vec<Strategy>) -> Self {
+        Self::new(strategies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_mirrors_the_strategy_set() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let catalog = StrategyCatalog::from_slice(&strategies);
+        assert_eq!(catalog.len(), 4);
+        assert!(!catalog.is_empty());
+        assert_eq!(catalog.strategies(), &strategies[..]);
+        assert_eq!(catalog.points().len(), 4);
+        assert_eq!(catalog.index().len(), 4);
+        for (strategy, point) in strategies.iter().zip(catalog.points()) {
+            assert_eq!(strategy.to_normalized_point(), *point);
+        }
+    }
+
+    #[test]
+    fn eligibility_matches_linear_scan_on_running_example() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let catalog = StrategyCatalog::from_slice(&strategies);
+        for request in &requests {
+            assert_eq!(
+                catalog.eligible_for_request(request),
+                request.eligible_strategies(&strategies),
+                "request {:?}",
+                request.id
+            );
+        }
+    }
+
+    #[test]
+    fn empty_catalog_behaves() {
+        let catalog = StrategyCatalog::new(Vec::new());
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.len(), 0);
+        let loosest = DeploymentParameters::default();
+        assert!(catalog.eligible_for(&loosest).is_empty());
+    }
+
+    #[test]
+    fn boundary_strategies_stay_eligible() {
+        // A strategy exactly on the request's thresholds is eligible under
+        // the epsilon-tolerant predicate; the inflated query box must not
+        // lose it.
+        let params = DeploymentParameters::clamped(0.7, 0.3, 0.4);
+        let strategies = vec![Strategy::from_params(0, params)];
+        let catalog = StrategyCatalog::from_slice(&strategies);
+        assert_eq!(catalog.eligible_for(&params), vec![0]);
+    }
+
+    #[test]
+    fn from_conversions_agree() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let a = StrategyCatalog::from_slice(&strategies);
+        let b: StrategyCatalog = strategies.into();
+        assert_eq!(a, b);
+    }
+}

@@ -40,7 +40,10 @@ impl std::fmt::Display for StratRecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::ParameterOutOfRange { parameter, value } => {
-                write!(f, "{parameter} = {value} is outside the normalized [0, 1] range")
+                write!(
+                    f,
+                    "{parameter} = {value} is outside the normalized [0, 1] range"
+                )
             }
             Self::InvalidDistribution(msg) => write!(f, "invalid availability distribution: {msg}"),
             Self::ZeroCardinality => write!(f, "cardinality constraint k must be at least 1"),

@@ -57,6 +57,7 @@
 pub mod adpar;
 pub mod availability;
 pub mod batch;
+pub mod catalog;
 pub mod error;
 pub mod examples_data;
 pub mod model;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::batch::{
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
+    pub use crate::catalog::StrategyCatalog;
     pub use crate::error::StratRecError;
     pub use crate::model::{
         DeploymentParameters, DeploymentRequest, Organization, RequestId, Strategy, StrategyId,

@@ -135,7 +135,7 @@ impl LinearModel {
             return f64::INFINITY;
         }
         let w = (threshold - self.beta) / self.alpha;
-        if !w.is_finite() || w < 0.0 || w > 1.0 + 1e-9 || !satisfied_at(w.min(1.0)) {
+        if !w.is_finite() || !(0.0..=1.0 + 1e-9).contains(&w) || !satisfied_at(w.min(1.0)) {
             f64::INFINITY
         } else {
             w.clamp(0.0, 1.0)
@@ -472,7 +472,8 @@ mod tests {
             lib.require(StrategyId(999)),
             Err(StratRecError::MissingModel { strategy: 999 })
         ));
-        let lib2 = ModelLibrary::from_pairs(vec![(StrategyId(1), StrategyModel::uniform(0.6, 0.4))]);
+        let lib2 =
+            ModelLibrary::from_pairs(vec![(StrategyId(1), StrategyModel::uniform(0.6, 0.4))]);
         assert_eq!(lib2.len(), 1);
         assert!(ModelLibrary::new().is_empty());
     }

@@ -3,15 +3,22 @@
 //! [`StratRec`] wires the two modules together: the **Aggregator**
 //! ([`BatchStrat`]) triages a batch of deployment requests against worker
 //! availability and recommends `k` strategies for each satisfied request;
-//! every unsatisfied request is then forwarded, one by one, to **ADPaR**
-//! ([`AdparExact`]) which recommends the closest alternative deployment
-//! parameters for which `k` strategies exist.
+//! every unsatisfied request is then forwarded to **ADPaR** ([`AdparExact`])
+//! which recommends the closest alternative deployment parameters for which
+//! `k` strategies exist.
+//!
+//! Both stages run over a shared [`StrategyCatalog`]: eligibility is an
+//! R-tree box query instead of an `O(|S|)` scan per request, and the
+//! independent ADPaR problems of a batch are solved in parallel on scoped
+//! threads rather than one by one. Outputs are identical to the sequential
+//! scan pipeline (see `tests/catalog_parity.rs`).
 
 use serde::{Deserialize, Serialize};
 
 use crate::adpar::{AdparExact, AdparProblem, AdparSolution, AdparSolver};
 use crate::availability::{AvailabilityPdf, WorkerAvailability};
 use crate::batch::{BatchObjective, BatchOutcome, BatchStrat};
+use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
 use crate::modeling::ModelLibrary;
@@ -93,6 +100,10 @@ impl StratRec {
     /// the pdf, runs the Aggregator, and sends every unsatisfied request to
     /// ADPaR.
     ///
+    /// Builds a temporary [`StrategyCatalog`] over `strategies`; callers
+    /// serving many batches over the same strategy set should build the
+    /// catalog once and use [`Self::process_batch_with_catalog`].
+    ///
     /// # Errors
     ///
     /// Returns [`StratRecError::MissingModel`] when a strategy has no fitted
@@ -104,29 +115,83 @@ impl StratRec {
         models: &ModelLibrary,
         availability: &AvailabilityPdf,
     ) -> Result<StratRecReport, StratRecError> {
+        let catalog = StrategyCatalog::from_slice(strategies);
+        self.process_batch_with_catalog(requests, &catalog, models, availability)
+    }
+
+    /// Processes a batch over a shared, pre-indexed [`StrategyCatalog`]:
+    /// the Aggregator answers eligibility through the catalog's R-tree and
+    /// the unsatisfied requests fan out to ADPaR in parallel (scoped
+    /// threads, one chunk per available core). Results are identical to the
+    /// sequential scan pipeline and deterministic regardless of thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a catalog strategy has
+    /// no fitted model in `models`.
+    pub fn process_batch_with_catalog(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+    ) -> Result<StratRecReport, StratRecError> {
         let expected = availability.expectation();
         let engine = BatchStrat::new(self.config.objective, self.config.aggregation);
-        let batch = engine.recommend_with_models(
-            requests,
-            strategies,
-            models,
-            self.config.k,
-            expected,
-        )?;
-        let adpar = AdparExact;
-        let alternatives = batch
-            .unsatisfied
-            .iter()
-            .map(|&idx| AlternativeRecommendation {
-                request_index: idx,
-                solution: adpar.solve(&AdparProblem::new(&requests[idx], strategies, self.config.k)),
-            })
-            .collect();
+        let batch =
+            engine.recommend_with_catalog(requests, catalog, models, self.config.k, expected)?;
+        let alternatives = self.recommend_alternatives(requests, catalog, &batch.unsatisfied);
         Ok(StratRecReport {
             availability: expected,
             batch,
             alternatives,
         })
+    }
+
+    /// Solves one ADPaR problem per unsatisfied request over the shared
+    /// catalog, in parallel when the fan-out is wide enough to pay for
+    /// thread spawns. Each thread owns a disjoint chunk of the result
+    /// vector, so the output order matches `unsatisfied` exactly.
+    fn recommend_alternatives(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        unsatisfied: &[usize],
+    ) -> Vec<AlternativeRecommendation> {
+        let k = self.config.k;
+        let solve_one = |idx: usize| AlternativeRecommendation {
+            request_index: idx,
+            solution: AdparExact.solve(&AdparProblem::with_catalog(&requests[idx], catalog, k)),
+        };
+
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(unsatisfied.len());
+        if threads < 2 {
+            return unsatisfied.iter().map(|&idx| solve_one(idx)).collect();
+        }
+
+        let chunk_size = unsatisfied.len().div_ceil(threads);
+        let mut results: Vec<Option<AlternativeRecommendation>> = vec![None; unsatisfied.len()];
+        let solve_one = &solve_one;
+        std::thread::scope(|scope| {
+            for (indices, slots) in unsatisfied
+                .chunks(chunk_size)
+                .zip(results.chunks_mut(chunk_size))
+            {
+                scope.spawn(move || {
+                    for (slot, &idx) in slots.iter_mut().zip(indices) {
+                        *slot = Some(solve_one(idx));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every chunk slot is filled by its thread"))
+            .collect()
     }
 }
 

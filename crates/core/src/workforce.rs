@@ -12,9 +12,10 @@
 use serde::{Deserialize, Serialize};
 use stratrec_optim::topk;
 
+use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
-use crate::modeling::ModelLibrary;
+use crate::modeling::{ModelLibrary, StrategyModel};
 
 /// How the workforce requirement of the `k` recommended strategies is
 /// aggregated into a single per-request requirement (paper §3.2, step 2).
@@ -120,6 +121,65 @@ impl WorkforceMatrix {
         })
     }
 
+    /// Computes the matrix through a [`StrategyCatalog`], answering
+    /// per-request eligibility with an R-tree box query instead of scanning
+    /// all `|S|` strategies. The resulting matrix is **identical** to
+    /// [`Self::compute_with_rule`] on the catalog's strategies: the index
+    /// only prunes which cells need the model inversion; ineligible cells
+    /// stay at `f64::INFINITY` exactly as in the scan path.
+    ///
+    /// With [`EligibilityRule::ModelOnly`] every cell is feasible by
+    /// definition, so the index offers nothing and all cells are computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when any catalog strategy has
+    /// no fitted model in `models` (the scan path's contract, preserved even
+    /// for strategies that are never eligible). As in the scan path, an
+    /// empty batch never consults the model library and always succeeds.
+    pub fn compute_with_catalog(
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+    ) -> Result<Self, StratRecError> {
+        let strategies = catalog.strategies();
+        if requests.is_empty() {
+            return Ok(Self {
+                rows: 0,
+                cols: strategies.len(),
+                cells: Vec::new(),
+            });
+        }
+        // Hoist the per-cell model lookups of the scan path into one
+        // id-indexed pass; this also enforces the missing-model contract.
+        let strategy_models: Vec<&StrategyModel> = strategies
+            .iter()
+            .map(|s| models.require(s.id))
+            .collect::<Result<_, _>>()?;
+        let cols = strategies.len();
+        let mut cells = vec![f64::INFINITY; requests.len() * cols];
+        for (request, row) in requests.iter().zip(cells.chunks_mut(cols.max(1))) {
+            match rule {
+                EligibilityRule::StrategyParameters => {
+                    for j in catalog.eligible_for(&request.params) {
+                        row[j] = strategy_models[j].required_workforce(&request.params);
+                    }
+                }
+                EligibilityRule::ModelOnly => {
+                    for (cell, model) in row.iter_mut().zip(&strategy_models) {
+                        *cell = model.required_workforce(&request.params);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            rows: requests.len(),
+            cols,
+            cells,
+        })
+    }
+
     /// Builds a matrix directly from row-major cells (used in tests and by
     /// callers that estimate requirements through other means).
     ///
@@ -173,9 +233,11 @@ impl WorkforceMatrix {
                 }
                 let workforce = match mode {
                     AggregationMode::Sum => strategy_indices.iter().map(|&j| row[j]).sum(),
-                    AggregationMode::Max => row[*strategy_indices
-                        .last()
-                        .expect("k >= 1 so the selection is non-empty")],
+                    AggregationMode::Max => {
+                        row[*strategy_indices
+                            .last()
+                            .expect("k >= 1 so the selection is non-empty")]
+                    }
                 };
                 Some(RequestRequirement {
                     request_index: i,
@@ -225,6 +287,53 @@ mod tests {
             assert!(matrix.get(2, j).is_finite());
             assert!(matrix.get(2, j) <= 1.0);
         }
+    }
+
+    #[test]
+    fn catalog_path_matches_scan_path_on_running_example() {
+        let (requests, strategies, models) = example_setup();
+        let catalog = crate::catalog::StrategyCatalog::from_slice(&strategies);
+        for rule in [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ] {
+            let scan =
+                WorkforceMatrix::compute_with_rule(&requests, &strategies, &models, rule).unwrap();
+            let indexed =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            assert_eq!(scan, indexed, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn catalog_path_empty_batch_matches_scan_even_without_models() {
+        // The scan path never consults the model library when the batch is
+        // empty; the catalog path must not either.
+        let strategies = crate::examples_data::running_example_strategies();
+        let catalog = crate::catalog::StrategyCatalog::from_slice(&strategies);
+        let empty_models = ModelLibrary::new();
+        let scan = WorkforceMatrix::compute(&[], &strategies, &empty_models).unwrap();
+        let indexed = WorkforceMatrix::compute_with_catalog(
+            &[],
+            &catalog,
+            &empty_models,
+            EligibilityRule::default(),
+        )
+        .unwrap();
+        assert_eq!(scan, indexed);
+        assert_eq!(indexed.rows(), 0);
+        assert_eq!(indexed.cols(), strategies.len());
+        // With a non-empty batch the missing-model contract still applies.
+        let requests = crate::examples_data::running_example_requests();
+        assert!(matches!(
+            WorkforceMatrix::compute_with_catalog(
+                &requests,
+                &catalog,
+                &empty_models,
+                EligibilityRule::default(),
+            ),
+            Err(StratRecError::MissingModel { .. })
+        ));
     }
 
     #[test]

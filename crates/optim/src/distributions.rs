@@ -61,10 +61,7 @@ impl DiscreteDistribution {
         if outcomes.is_empty() {
             return Err(DistributionError::Empty);
         }
-        if probabilities
-            .iter()
-            .any(|p| !p.is_finite() || *p < -1e-12)
-        {
+        if probabilities.iter().any(|p| !p.is_finite() || *p < -1e-12) {
             return Err(DistributionError::InvalidProbability);
         }
         let total: f64 = probabilities.iter().sum();

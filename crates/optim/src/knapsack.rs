@@ -186,8 +186,14 @@ fn solve_meet_in_the_middle(items: &[KnapsackItem], capacity: f64) -> KnapsackSo
     }
 
     let (_, left_mask, right_mask) = best.unwrap_or((0.0, 0, 0));
-    let mut selected: Vec<usize> = (0..left.len()).filter(|i| left_mask & (1 << i) != 0).collect();
-    selected.extend((0..right.len()).filter(|i| right_mask & (1 << i) != 0).map(|i| i + left.len()));
+    let mut selected: Vec<usize> = (0..left.len())
+        .filter(|i| left_mask & (1 << i) != 0)
+        .collect();
+    selected.extend(
+        (0..right.len())
+            .filter(|i| right_mask & (1 << i) != 0)
+            .map(|i| i + left.len()),
+    );
     KnapsackSolution::from_indices(items, selected)
 }
 
@@ -344,12 +350,7 @@ mod tests {
         // 24 items routes through the meet-in-the-middle path; compare it
         // against plain enumeration on the same instance.
         let items: Vec<KnapsackItem> = (0..24)
-            .map(|i| {
-                KnapsackItem::new(
-                    0.05 + 0.013 * (i % 7) as f64,
-                    0.1 + 0.029 * (i % 5) as f64,
-                )
-            })
+            .map(|i| KnapsackItem::new(0.05 + 0.013 * (i % 7) as f64, 0.1 + 0.029 * (i % 5) as f64))
             .collect();
         for capacity in [0.2, 0.5, 1.0, 2.0] {
             let mitm = solve_meet_in_the_middle(&items, capacity);

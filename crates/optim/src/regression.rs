@@ -129,8 +129,7 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let dof = (xs.len().saturating_sub(2)) as f64;
     let residual_variance = if dof > 0.0 { rss / dof } else { 0.0 };
     let slope_stderr = (residual_variance / sxx).sqrt();
-    let intercept_stderr =
-        (residual_variance * (1.0 / n + mean_x * mean_x / sxx)).sqrt();
+    let intercept_stderr = (residual_variance * (1.0 / n + mean_x * mean_x / sxx)).sqrt();
 
     Some(LinearFit {
         slope,

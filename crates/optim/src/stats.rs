@@ -115,7 +115,11 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
         // Identical pairs: define t as 0 (no evidence of a difference) unless
         // the mean difference itself is non-zero, which with zero variance is
         // infinitely significant.
-        let p = if summary.mean.abs() <= 1e-15 { 1.0 } else { 0.0 };
+        let p = if summary.mean.abs() <= 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
         return Some(TTest {
             t_statistic: if p == 0.0 { f64::INFINITY } else { 0.0 },
             degrees_of_freedom: a.len() - 1,
@@ -231,8 +235,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -313,10 +316,10 @@ fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

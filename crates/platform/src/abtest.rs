@@ -13,6 +13,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use stratrec_core::availability::AvailabilityPdf;
 use stratrec_core::batch::{BatchObjective, BatchStrat};
+use stratrec_core::catalog::StrategyCatalog;
 use stratrec_core::model::{
     all_dimension_combinations, DeploymentParameters, DeploymentRequest, Strategy, TaskType,
 };
@@ -149,6 +150,8 @@ pub fn run_ab_test(task: TaskType, config: &AbTestConfig) -> AbTestResult {
         models.insert(strategy.id, truth);
         strategies.push(strategy);
     }
+    // One shared indexed catalog serves every deployment of the experiment.
+    let catalog = StrategyCatalog::from_slice(&strategies);
 
     let engine = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Max);
     let mut guided = Vec::new();
@@ -165,9 +168,9 @@ pub fn run_ab_test(task: TaskType, config: &AbTestConfig) -> AbTestResult {
         );
         // Guided arm: deploy with the best strategy StratRec recommends.
         let outcome = engine
-            .recommend_with_models(
+            .recommend_with_catalog(
                 std::slice::from_ref(&request),
-                &strategies,
+                &catalog,
                 &models,
                 config.k,
                 expected,
@@ -235,7 +238,10 @@ mod tests {
                 result.with_stratrec.latency.mean <= result.without_stratrec.latency.mean + 0.05,
                 "{task:?}: guided latency should not be noticeably worse"
             );
-            assert!(result.stratrec_wins(0.05), "{task:?}: paired test should be significant");
+            assert!(
+                result.stratrec_wins(0.05),
+                "{task:?}: paired test should be significant"
+            );
         }
     }
 

@@ -115,12 +115,7 @@ impl AvailabilityProcess {
     /// how many qualified workers arrive (and stay past the payment
     /// threshold) within the deployment horizon. Returns the availability
     /// ratio `x′ / x`.
-    pub fn simulate_hit(
-        &self,
-        pool: &WorkerPool,
-        design: &HitDesign,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn simulate_hit(&self, pool: &WorkerPool, design: &HitDesign, rng: &mut impl Rng) -> f64 {
         let recruited = pool.recruit(design.task_type, 0.9);
         if recruited.is_empty() || design.max_workers == 0 {
             return 0.0;
@@ -131,8 +126,8 @@ impl AvailabilityProcess {
         // for, dampened when the recruited pool itself is small.
         let horizon = design.deployment_hours;
         let pool_scale = (recruited.len() as f64 / (design.max_workers as f64 * 10.0)).min(1.0);
-        let rate_per_hour = self.window.base_activity() * pool_scale * design.max_workers as f64
-            / horizon.max(1.0);
+        let rate_per_hour =
+            self.window.base_activity() * pool_scale * design.max_workers as f64 / horizon.max(1.0);
         let exp = Exp::new(rate_per_hour.max(1e-6)).expect("positive rate");
 
         let mut clock = 0.0_f64;
@@ -223,8 +218,8 @@ mod tests {
         let pool = pool();
         let design = HitDesign::calibration(TaskType::SentenceTranslation);
         let mut rng = StdRng::seed_from_u64(5);
-        let est =
-            AvailabilityProcess::new(DeploymentWindow::Weekend).estimate(&pool, &design, 12, &mut rng);
+        let est = AvailabilityProcess::new(DeploymentWindow::Weekend)
+            .estimate(&pool, &design, 12, &mut rng);
         assert_eq!(est.observations.len(), 12);
         assert!(est.std_err >= 0.0);
         let pdf = est.to_pdf().unwrap();
@@ -241,8 +236,11 @@ mod tests {
         assert_eq!(a, 0.0);
         let mut zero_workers = design;
         zero_workers.max_workers = 0;
-        let a = AvailabilityProcess::new(DeploymentWindow::Weekend)
-            .simulate_hit(&pool(), &zero_workers, &mut rng);
+        let a = AvailabilityProcess::new(DeploymentWindow::Weekend).simulate_hit(
+            &pool(),
+            &zero_workers,
+            &mut rng,
+        );
         assert_eq!(a, 0.0);
     }
 

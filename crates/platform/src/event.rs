@@ -1,13 +1,14 @@
 //! Compact event log of a simulation run.
 //!
 //! The platform simulator can record every HIT execution as a fixed-width
-//! binary record in a [`bytes`] buffer. The log is append-only and cheap to
-//! copy (the underlying `Bytes` is reference counted), which lets long
-//! parameter sweeps in the bench harness retain full traces without paying
-//! for per-event allocations, and lets tests replay exactly what a sweep
-//! observed.
+//! little-endian binary record in a flat byte buffer. The log is append-only
+//! and freezes into a reference-counted `Arc<[u8]>` that is cheap to copy,
+//! which lets long parameter sweeps in the bench harness retain full traces
+//! without paying for per-event allocations, and lets tests replay exactly
+//! what a sweep observed.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::execution::ExecutionOutcome;
@@ -23,14 +24,14 @@ pub struct SimulationEvent {
     pub outcome: ExecutionOutcome,
 }
 
-/// Size of one encoded event in bytes: two u64 ids, five f64 fields and one
+/// Size of one encoded event in bytes: two u64 ids, four f64 fields and one
 /// u32 edit counter.
 const EVENT_SIZE: usize = 8 + 8 + 8 * 4 + 4;
 
 /// An append-only binary event log.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    buffer: BytesMut,
+    buffer: Vec<u8>,
 }
 
 impl EventLog {
@@ -43,13 +44,19 @@ impl EventLog {
     /// Appends one event.
     pub fn record(&mut self, event: &SimulationEvent) {
         self.buffer.reserve(EVENT_SIZE);
-        self.buffer.put_u64_le(event.hit_id);
-        self.buffer.put_u64_le(event.strategy_id);
-        self.buffer.put_f64_le(event.outcome.quality);
-        self.buffer.put_f64_le(event.outcome.cost);
-        self.buffer.put_f64_le(event.outcome.latency);
-        self.buffer.put_f64_le(event.outcome.availability);
-        self.buffer.put_u32_le(event.outcome.edits);
+        self.buffer.extend_from_slice(&event.hit_id.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.strategy_id.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.outcome.quality.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.outcome.cost.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.outcome.latency.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.outcome.availability.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&event.outcome.edits.to_le_bytes());
     }
 
     /// Number of recorded events.
@@ -66,23 +73,23 @@ impl EventLog {
 
     /// Freezes the log into an immutable, cheaply clonable byte buffer.
     #[must_use]
-    pub fn freeze(self) -> Bytes {
-        self.buffer.freeze()
+    pub fn freeze(self) -> Arc<[u8]> {
+        self.buffer.into()
     }
 
     /// Decodes every event back out of the log.
     #[must_use]
     pub fn decode_all(&self) -> Vec<SimulationEvent> {
-        let mut cursor = &self.buffer[..];
         let mut events = Vec::with_capacity(self.len());
-        while cursor.remaining() >= EVENT_SIZE {
-            let hit_id = cursor.get_u64_le();
-            let strategy_id = cursor.get_u64_le();
-            let quality = cursor.get_f64_le();
-            let cost = cursor.get_f64_le();
-            let latency = cursor.get_f64_le();
-            let availability = cursor.get_f64_le();
-            let edits = cursor.get_u32_le();
+        for record in self.buffer.chunks_exact(EVENT_SIZE) {
+            let mut cursor = Cursor { bytes: record };
+            let hit_id = cursor.u64_le();
+            let strategy_id = cursor.u64_le();
+            let quality = cursor.f64_le();
+            let cost = cursor.f64_le();
+            let latency = cursor.f64_le();
+            let availability = cursor.f64_le();
+            let edits = cursor.u32_le();
             events.push(SimulationEvent {
                 hit_id,
                 strategy_id,
@@ -96,6 +103,31 @@ impl EventLog {
             });
         }
         events
+    }
+}
+
+/// A tiny little-endian reader over one fixed-width record.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.bytes.split_at(N);
+        self.bytes = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+
+    fn u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
     }
 }
 
@@ -145,5 +177,8 @@ mod tests {
         log.record(&event(2, 0.6));
         let bytes = log.freeze();
         assert_eq!(bytes.len(), 2 * EVENT_SIZE);
+        // Cloning the frozen buffer shares the allocation.
+        let clone = Arc::clone(&bytes);
+        assert_eq!(clone.as_ptr(), bytes.as_ptr());
     }
 }

@@ -16,7 +16,9 @@
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
-use stratrec_core::model::{DeploymentParameters, Organization, Strategy, Structure, Style, TaskType};
+use stratrec_core::model::{
+    DeploymentParameters, Organization, Strategy, Structure, Style, TaskType,
+};
 use stratrec_core::modeling::{LinearModel, StrategyModel};
 
 use crate::hit::HitDesign;
@@ -147,8 +149,9 @@ impl StrategyExecutor {
 
         // Collaborative simultaneous editing produces conflicts; each
         // conflict chips away at quality (the paper's "edit war").
-        let workers_engaged =
-            ((design.max_workers as f64) * availability).round().max(1.0) as u32;
+        let workers_engaged = ((design.max_workers as f64) * availability)
+            .round()
+            .max(1.0) as u32;
         let base_edits = workers_engaged * design.tasks_per_hit.max(1) as u32;
         let conflicts = if strategy.structure == Structure::Simultaneous
             && strategy.organization == Organization::Collaborative
@@ -243,7 +246,11 @@ mod tests {
             edit_war_penalty: 0.0,
         };
         let design = HitDesign::calibration(TaskType::TextCreation);
-        let s = strategy(Structure::Sequential, Organization::Independent, Style::CrowdOnly);
+        let s = strategy(
+            Structure::Sequential,
+            Organization::Independent,
+            Style::CrowdOnly,
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let low = executor.execute(&design, &s, 0.4, &mut rng);
         let high = executor.execute(&design, &s, 0.95, &mut rng);
@@ -265,13 +272,21 @@ mod tests {
         for _ in 0..n {
             let seq = executor.execute(
                 &design,
-                &strategy(Structure::Sequential, Organization::Independent, Style::CrowdOnly),
+                &strategy(
+                    Structure::Sequential,
+                    Organization::Independent,
+                    Style::CrowdOnly,
+                ),
                 0.8,
                 &mut rng,
             );
             let col = executor.execute(
                 &design,
-                &strategy(Structure::Simultaneous, Organization::Collaborative, Style::CrowdOnly),
+                &strategy(
+                    Structure::Simultaneous,
+                    Organization::Collaborative,
+                    Style::CrowdOnly,
+                ),
                 0.8,
                 &mut rng,
             );
@@ -280,7 +295,10 @@ mod tests {
             seq_latency += seq.latency;
             col_latency += col.latency;
         }
-        assert!(seq_quality > col_quality, "Figure 12 shape: SEQ-IND-CRO quality wins");
+        assert!(
+            seq_quality > col_quality,
+            "Figure 12 shape: SEQ-IND-CRO quality wins"
+        );
         assert!(seq_latency > col_latency, "…at the price of latency");
     }
 
@@ -294,13 +312,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let crowd = executor.execute(
             &design,
-            &strategy(Structure::Simultaneous, Organization::Independent, Style::CrowdOnly),
+            &strategy(
+                Structure::Simultaneous,
+                Organization::Independent,
+                Style::CrowdOnly,
+            ),
             0.8,
             &mut rng,
         );
         let hybrid = executor.execute(
             &design,
-            &strategy(Structure::Simultaneous, Organization::Independent, Style::Hybrid),
+            &strategy(
+                Structure::Simultaneous,
+                Organization::Independent,
+                Style::Hybrid,
+            ),
             0.8,
             &mut rng,
         );
@@ -321,7 +347,11 @@ mod tests {
         for _ in 0..n {
             let guided = executor.execute(
                 &design,
-                &strategy(Structure::Sequential, Organization::Independent, Style::CrowdOnly),
+                &strategy(
+                    Structure::Sequential,
+                    Organization::Independent,
+                    Style::CrowdOnly,
+                ),
                 0.8,
                 &mut rng,
             );

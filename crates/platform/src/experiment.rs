@@ -12,12 +12,11 @@
 //!    → [`CalibrationExperiment::table6`] covering the two deployed
 //!    strategies (`SEQ-IND-CRO`, `SIM-COL-CRO`) on both task types.
 
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use stratrec_core::model::{
     DeploymentParameters, Organization, Strategy, Structure, Style, TaskType,
 };
@@ -154,8 +153,12 @@ impl CalibrationExperiment {
         let mut out = Vec::new();
         for window in DeploymentWindow::ALL {
             for strategy in Self::deployed_strategies(task) {
-                let estimate =
-                    AvailabilityProcess::new(window).estimate(&pool, &design, self.replicas, &mut rng);
+                let estimate = AvailabilityProcess::new(window).estimate(
+                    &pool,
+                    &design,
+                    self.replicas,
+                    &mut rng,
+                );
                 out.push((window, strategy.name(), estimate));
             }
         }
@@ -191,9 +194,18 @@ impl CalibrationExperiment {
     /// Returns `None` when the regression is degenerate, which cannot happen
     /// with the default configuration (≥ 2 distinct availability levels).
     #[must_use]
-    pub fn fit_strategy(&self, task: TaskType, strategy: &Strategy) -> Option<FittedStrategyReport> {
+    pub fn fit_strategy(
+        &self,
+        task: TaskType,
+        strategy: &Strategy,
+    ) -> Option<FittedStrategyReport> {
         let key = (task, strategy.name());
-        if let Some(report) = self.fit_cache.read().get(&key) {
+        if let Some(report) = self
+            .fit_cache
+            .read()
+            .expect("fit cache lock poisoned")
+            .get(&key)
+        {
             return Some(report.clone());
         }
         let observations = self.parameter_sweep(task, strategy);
@@ -206,7 +218,10 @@ impl CalibrationExperiment {
             latency: fits[2],
             observations,
         };
-        self.fit_cache.write().insert(key, report.clone());
+        self.fit_cache
+            .write()
+            .expect("fit cache lock poisoned")
+            .insert(key, report.clone());
         Some(report)
     }
 
@@ -269,7 +284,8 @@ mod tests {
             samples_per_level: 20,
             ..CalibrationExperiment::default()
         };
-        let strategy = &CalibrationExperiment::deployed_strategies(TaskType::SentenceTranslation)[0];
+        let strategy =
+            &CalibrationExperiment::deployed_strategies(TaskType::SentenceTranslation)[0];
         let report = exp
             .fit_strategy(TaskType::SentenceTranslation, strategy)
             .unwrap();
@@ -282,9 +298,11 @@ mod tests {
         // Latency ground truth has β = 1.40, which the [0, 1] clamping biases
         // towards the boundary; check quality and cost boxes strictly and the
         // sign of the latency slope.
-        assert!(report
-            .quality
-            .contains_at_confidence(truth.quality.alpha, truth.quality.beta, 0.99));
+        assert!(report.quality.contains_at_confidence(
+            truth.quality.alpha,
+            truth.quality.beta,
+            0.99
+        ));
         assert!(report.latency.slope < 0.0);
         let model = report.to_strategy_model();
         assert!(model.quality.alpha > 0.0);

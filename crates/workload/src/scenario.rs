@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use stratrec_core::availability::WorkerAvailability;
+use stratrec_core::catalog::StrategyCatalog;
 use stratrec_core::model::{DeploymentRequest, Strategy};
 use stratrec_core::modeling::ModelLibrary;
 
@@ -30,8 +31,10 @@ pub enum ParameterDistribution {
 
 impl ParameterDistribution {
     /// Both distributions, in the order the paper plots them.
-    pub const ALL: [ParameterDistribution; 2] =
-        [ParameterDistribution::Uniform, ParameterDistribution::Normal];
+    pub const ALL: [ParameterDistribution; 2] = [
+        ParameterDistribution::Uniform,
+        ParameterDistribution::Normal,
+    ];
 
     /// Label used in experiment output.
     #[must_use]
@@ -54,6 +57,16 @@ pub struct BatchInstance {
     pub models: ModelLibrary,
     /// Expected worker availability.
     pub availability: WorkerAvailability,
+}
+
+impl BatchInstance {
+    /// Builds the shared indexed catalog over this instance's strategies,
+    /// for the catalog-backed pipeline (`recommend_with_catalog`,
+    /// `process_batch_with_catalog`).
+    #[must_use]
+    pub fn catalog(&self) -> StrategyCatalog {
+        StrategyCatalog::from_slice(&self.strategies)
+    }
 }
 
 /// Scenario for the batch-deployment experiments (Figures 14–16, 18a).
@@ -128,6 +141,15 @@ pub struct AdparInstance {
     pub strategies: Vec<Strategy>,
     /// Cardinality constraint.
     pub k: usize,
+}
+
+impl AdparInstance {
+    /// Builds the shared indexed catalog over this instance's strategies,
+    /// for catalog-backed ADPaR problems (`AdparProblem::with_catalog`).
+    #[must_use]
+    pub fn catalog(&self) -> StrategyCatalog {
+        StrategyCatalog::from_slice(&self.strategies)
+    }
 }
 
 /// Scenario for the ADPaR experiments (Figures 17, 18b–c).
@@ -239,6 +261,27 @@ mod tests {
             eligible.len() < instance.k,
             "the request should need ADPaR ({} eligible)",
             eligible.len()
+        );
+    }
+
+    #[test]
+    fn catalogs_index_the_materialized_strategies() {
+        let batch = BatchScenario {
+            strategy_count: 40,
+            ..BatchScenario::default()
+        }
+        .materialize();
+        assert_eq!(batch.catalog().strategies(), &batch.strategies[..]);
+        let adpar = AdparScenario {
+            strategy_count: 25,
+            ..AdparScenario::default()
+        }
+        .materialize();
+        let catalog = adpar.catalog();
+        assert_eq!(catalog.len(), 25);
+        assert_eq!(
+            catalog.eligible_for_request(&adpar.request),
+            adpar.request.eligible_strategies(&adpar.strategies)
         );
     }
 

@@ -17,6 +17,9 @@ use stratrec::workload::scenario::ParameterDistribution;
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let strategies = generate_strategies(30, ParameterDistribution::Uniform, &mut rng);
+    // The four solvers share one indexed catalog (Baseline3 reuses its
+    // R-tree instead of building one per solve).
+    let catalog = StrategyCatalog::from_slice(&strategies);
 
     // An over-ambitious request: near-expert quality at almost no cost.
     let request = DeploymentRequest::new(
@@ -25,7 +28,7 @@ fn main() {
         DeploymentParameters::clamped(0.95, 0.1, 0.2),
     );
     let k = 4;
-    let problem = AdparProblem::new(&request, &strategies, k);
+    let problem = AdparProblem::with_catalog(&request, &catalog, k);
 
     println!(
         "Original request: quality >= {:.2}, cost <= {:.2}, latency <= {:.2} (satisfied by {} of {} strategies; k = {k})",

@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stratrec::core::batch::{BatchAlgorithm, BatchObjective, BatchStrat};
 use stratrec::core::prelude::*;
-use stratrec::workload::{generate_models, generate_requests, generate_strategies};
 use stratrec::workload::scenario::ParameterDistribution;
+use stratrec::workload::{generate_models, generate_requests, generate_strategies};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
@@ -24,14 +24,18 @@ fn main() {
     let availability = WorkerAvailability::new(0.6).expect("in range");
     let k = 5;
 
+    // Normalize and index the strategy set once; every triage below shares
+    // the same catalog.
+    let catalog = StrategyCatalog::from_slice(&strategies);
+
     for (label, algorithm) in [
         ("BatchStrat (1/2-approx)", BatchAlgorithm::BatchStrat),
         ("BaselineG (plain greedy)", BatchAlgorithm::BaselineG),
     ] {
-        let engine = BatchStrat::new(BatchObjective::Payoff, AggregationMode::Sum)
-            .with_algorithm(algorithm);
+        let engine =
+            BatchStrat::new(BatchObjective::Payoff, AggregationMode::Sum).with_algorithm(algorithm);
         let outcome = engine
-            .recommend_with_models(&requests, &strategies, &models, k, availability)
+            .recommend_with_catalog(&requests, &catalog, &models, k, availability)
             .expect("models cover every strategy");
         println!(
             "{label}: satisfied {}/{} requests, pay-off {:.2}, workforce used {:.2}/{:.2}",
@@ -46,12 +50,12 @@ fn main() {
     // Show what the unsatisfied requesters are told.
     let engine = BatchStrat::new(BatchObjective::Payoff, AggregationMode::Sum);
     let outcome = engine
-        .recommend_with_models(&requests, &strategies, &models, k, availability)
+        .recommend_with_catalog(&requests, &catalog, &models, k, availability)
         .expect("models cover every strategy");
     let adpar = AdparExact;
     println!("\nAlternative parameters for the first three unsatisfied requests:");
     for &idx in outcome.unsatisfied.iter().take(3) {
-        let problem = AdparProblem::new(&requests[idx], &strategies, k);
+        let problem = AdparProblem::with_catalog(&requests[idx], &catalog, k);
         match adpar.solve(&problem) {
             Ok(solution) => println!(
                 "  d{}: relax to quality >= {:.2}, cost <= {:.2}, latency <= {:.2} (distance {:.3})",

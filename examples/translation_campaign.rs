@@ -45,8 +45,7 @@ fn main() {
     let expected = availability.expectation();
     let mut strategies = Vec::new();
     let mut models = ModelLibrary::new();
-    for (idx, (structure, organization, style)) in all_dimension_combinations().iter().enumerate()
-    {
+    for (idx, (structure, organization, style)) in all_dimension_combinations().iter().enumerate() {
         let probe = Strategy::new(
             idx as u64,
             *structure,
@@ -61,24 +60,34 @@ fn main() {
                 StrategyExecutor::ground_truth_model(task, *structure, *organization, *style)
             });
         let params = fitted.estimate_parameters(expected);
-        strategies.push(Strategy::new(idx as u64, *structure, *organization, *style, params));
+        strategies.push(Strategy::new(
+            idx as u64,
+            *structure,
+            *organization,
+            *style,
+            params,
+        ));
         models.insert(strategies[idx].id, fitted);
     }
 
     // Step 3 — the requester's thresholds: at least 75 % of expert quality,
     // at most 80 % of the budget, finished within 70 % of the horizon.
-    let request = DeploymentRequest::new(
-        1,
-        task,
-        DeploymentParameters::clamped(0.75, 0.8, 0.7),
-    );
+    let request = DeploymentRequest::new(1, task, DeploymentParameters::clamped(0.75, 0.8, 0.7));
     let layer = StratRec::new(StratRecConfig {
         k: 3,
         objective: BatchObjective::Throughput,
         aggregation: AggregationMode::Max,
     });
+    // Index the candidate strategies once; subsequent campaigns over the
+    // same platform would reuse this catalog.
+    let catalog = StrategyCatalog::from_slice(&strategies);
     let report = layer
-        .process_batch(std::slice::from_ref(&request), &strategies, &models, &availability)
+        .process_batch_with_catalog(
+            std::slice::from_ref(&request),
+            &catalog,
+            &models,
+            &availability,
+        )
         .expect("models cover every strategy");
 
     if let Some(rec) = report.batch.satisfied.first() {

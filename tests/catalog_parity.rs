@@ -1,0 +1,265 @@
+//! Parity tests: the catalog-backed (R-tree-indexed, parallel) pipeline must
+//! produce results **identical** to the seed's linear-scan pipeline — same
+//! workforce matrices, same `BatchOutcome`s, same `AdparSolution`s — on the
+//! paper's running example and on randomized synthetic scenarios.
+
+use stratrec::core::adpar::{
+    AdparBaseline2, AdparBaseline3, AdparBruteForce, AdparExact, AdparProblem, AdparSolver,
+};
+use stratrec::core::availability::AvailabilityPdf;
+use stratrec::core::batch::{BatchObjective, BatchStrat};
+use stratrec::core::catalog::StrategyCatalog;
+use stratrec::core::model::{DeploymentRequest, Strategy};
+use stratrec::core::modeling::ModelLibrary;
+use stratrec::core::prelude::*;
+use stratrec::core::stratrec::{StratRec, StratRecConfig};
+use stratrec::core::workforce::{EligibilityRule, WorkforceMatrix};
+use stratrec::workload::scenario::{AdparScenario, BatchScenario, ParameterDistribution};
+
+const SEEDS: [u64; 6] = [2020, 1, 7, 42, 99, 123_456];
+
+fn assert_matrices_equal(
+    requests: &[DeploymentRequest],
+    strategies: &[Strategy],
+    catalog: &StrategyCatalog,
+    models: &ModelLibrary,
+    rule: EligibilityRule,
+    context: &str,
+) {
+    let scan = WorkforceMatrix::compute_with_rule(requests, strategies, models, rule).unwrap();
+    let indexed = WorkforceMatrix::compute_with_catalog(requests, catalog, models, rule).unwrap();
+    assert_eq!(scan, indexed, "workforce matrix diverged: {context}");
+}
+
+#[test]
+fn eligibility_matches_linear_scan_on_random_scenarios() {
+    for seed in SEEDS {
+        for distribution in ParameterDistribution::ALL {
+            let instance = BatchScenario {
+                batch_size: 15,
+                strategy_count: 400,
+                k: 5,
+                availability: 0.5,
+                distribution,
+                seed,
+            }
+            .materialize();
+            let catalog = instance.catalog();
+            for request in &instance.requests {
+                assert_eq!(
+                    catalog.eligible_for_request(request),
+                    request.eligible_strategies(&instance.strategies),
+                    "seed {seed}, {distribution:?}, request {:?}",
+                    request.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workforce_matrices_match_on_running_example_and_random_seeds() {
+    // Running example.
+    let strategies = stratrec::core::examples_data::running_example_strategies();
+    let requests = stratrec::core::examples_data::running_example_requests();
+    let models = stratrec::core::examples_data::running_example_models();
+    let catalog = StrategyCatalog::from_slice(&strategies);
+    for rule in [
+        EligibilityRule::StrategyParameters,
+        EligibilityRule::ModelOnly,
+    ] {
+        assert_matrices_equal(
+            &requests,
+            &strategies,
+            &catalog,
+            &models,
+            rule,
+            "running example",
+        );
+    }
+
+    // Random scenarios, both distributions and both eligibility rules.
+    for seed in SEEDS {
+        for distribution in ParameterDistribution::ALL {
+            let instance = BatchScenario {
+                batch_size: 12,
+                strategy_count: 300,
+                k: 5,
+                availability: 0.6,
+                distribution,
+                seed,
+            }
+            .materialize();
+            let catalog = instance.catalog();
+            for rule in [
+                EligibilityRule::StrategyParameters,
+                EligibilityRule::ModelOnly,
+            ] {
+                assert_matrices_equal(
+                    &instance.requests,
+                    &instance.strategies,
+                    &catalog,
+                    &instance.models,
+                    rule,
+                    &format!("seed {seed}, {distribution:?}, {rule:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_outcomes_match_for_both_objectives_and_aggregations() {
+    for seed in SEEDS {
+        let instance = BatchScenario {
+            batch_size: 20,
+            strategy_count: 500,
+            k: 4,
+            availability: 0.5,
+            distribution: ParameterDistribution::Uniform,
+            seed,
+        }
+        .materialize();
+        let catalog = instance.catalog();
+        for objective in [BatchObjective::Throughput, BatchObjective::Payoff] {
+            for aggregation in [AggregationMode::Sum, AggregationMode::Max] {
+                let engine = BatchStrat::new(objective, aggregation);
+                let scan = engine
+                    .recommend_with_models(
+                        &instance.requests,
+                        &instance.strategies,
+                        &instance.models,
+                        instance.requests.len().min(4),
+                        instance.availability,
+                    )
+                    .unwrap();
+                let indexed = engine
+                    .recommend_with_catalog(
+                        &instance.requests,
+                        &catalog,
+                        &instance.models,
+                        instance.requests.len().min(4),
+                        instance.availability,
+                    )
+                    .unwrap();
+                assert_eq!(scan, indexed, "seed {seed}, {objective:?}, {aggregation:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn adpar_solutions_match_for_all_four_solvers() {
+    for seed in SEEDS {
+        let instance = AdparScenario {
+            strategy_count: 18,
+            k: 4,
+            seed,
+            ..AdparScenario::default()
+        }
+        .materialize();
+        let catalog = instance.catalog();
+        let scan_problem = AdparProblem::new(&instance.request, &instance.strategies, instance.k);
+        let indexed_problem = AdparProblem::with_catalog(&instance.request, &catalog, instance.k);
+        assert_eq!(scan_problem.relaxations(), indexed_problem.relaxations());
+
+        let solvers: [&dyn AdparSolver; 4] = [
+            &AdparExact,
+            &AdparBruteForce,
+            &AdparBaseline2,
+            &AdparBaseline3::default(),
+        ];
+        for solver in solvers {
+            let scan = solver.solve(&scan_problem).unwrap();
+            let indexed = solver.solve(&indexed_problem).unwrap();
+            assert_eq!(scan, indexed, "seed {seed}, solver {}", solver.name());
+        }
+        // A custom Baseline3 node capacity must not change results either
+        // (the solver falls back to loading its own tree from the catalog's
+        // pre-normalized points).
+        let custom = AdparBaseline3 { node_capacity: 3 };
+        assert_eq!(
+            custom.solve(&scan_problem).unwrap(),
+            custom.solve(&indexed_problem).unwrap(),
+            "seed {seed}, custom node capacity"
+        );
+    }
+}
+
+#[test]
+fn middle_layer_reports_match_the_sequential_scan_pipeline() {
+    let layer = StratRec::new(StratRecConfig {
+        k: 3,
+        objective: BatchObjective::Throughput,
+        aggregation: AggregationMode::Max,
+    });
+
+    // Reference: the seed's sequential scan pipeline, reconstructed inline.
+    let sequential = |requests: &[DeploymentRequest],
+                      strategies: &[Strategy],
+                      models: &ModelLibrary,
+                      availability: &AvailabilityPdf| {
+        let expected = availability.expectation();
+        let engine = BatchStrat::new(layer.config.objective, layer.config.aggregation);
+        let batch = engine
+            .recommend_with_models(requests, strategies, models, layer.config.k, expected)
+            .unwrap();
+        let alternatives: Vec<_> = batch
+            .unsatisfied
+            .iter()
+            .map(|&idx| {
+                AdparExact.solve(&AdparProblem::new(
+                    &requests[idx],
+                    strategies,
+                    layer.config.k,
+                ))
+            })
+            .collect();
+        (batch, alternatives)
+    };
+
+    // Running example plus random scenarios wide enough to exercise the
+    // parallel ADPaR fan-out.
+    let mut cases: Vec<(Vec<DeploymentRequest>, Vec<Strategy>, ModelLibrary)> = vec![(
+        stratrec::core::examples_data::running_example_requests(),
+        stratrec::core::examples_data::running_example_strategies(),
+        stratrec::core::examples_data::running_example_models(),
+    )];
+    for seed in SEEDS {
+        let instance = BatchScenario {
+            batch_size: 16,
+            strategy_count: 250,
+            k: 3,
+            availability: 0.3,
+            distribution: ParameterDistribution::Uniform,
+            seed,
+        }
+        .materialize();
+        cases.push((instance.requests, instance.strategies, instance.models));
+    }
+
+    for (i, (requests, strategies, models)) in cases.iter().enumerate() {
+        let pdf = AvailabilityPdf::certain(if i == 0 { 0.8 } else { 0.3 });
+        let (expected_batch, expected_alternatives) =
+            sequential(requests, strategies, models, &pdf);
+        let report = layer
+            .process_batch(requests, strategies, models, &pdf)
+            .unwrap();
+        assert_eq!(report.batch, expected_batch, "case {i}");
+        assert_eq!(
+            report.alternatives.len(),
+            expected_alternatives.len(),
+            "case {i}"
+        );
+        for (alt, expected) in report.alternatives.iter().zip(&expected_alternatives) {
+            assert_eq!(&alt.solution, expected, "case {i}");
+        }
+        // The parallel fan-out preserves the order of `unsatisfied`.
+        let order: Vec<usize> = report
+            .alternatives
+            .iter()
+            .map(|a| a.request_index)
+            .collect();
+        assert_eq!(order, report.batch.unsatisfied, "case {i}");
+    }
+}

@@ -11,8 +11,8 @@ use stratrec::core::model::{
 use stratrec::core::modeling::ModelLibrary;
 use stratrec::core::prelude::*;
 use stratrec::core::stratrec::StratRecConfig;
-use stratrec::platform::experiment::CalibrationExperiment;
 use stratrec::platform::execution::StrategyExecutor;
+use stratrec::platform::experiment::CalibrationExperiment;
 use stratrec::workload::scenario::{AdparScenario, BatchScenario, ParameterDistribution};
 use stratrec::workload::{generate_models, generate_requests, generate_strategies};
 
@@ -37,8 +37,7 @@ fn full_pipeline_from_simulation_to_recommendations() {
     let expected = availability.expectation();
     let mut strategies = Vec::new();
     let mut models = ModelLibrary::new();
-    for (idx, (structure, organization, style)) in all_dimension_combinations().iter().enumerate()
-    {
+    for (idx, (structure, organization, style)) in all_dimension_combinations().iter().enumerate() {
         let truth = StrategyExecutor::ground_truth_model(task, *structure, *organization, *style);
         let params = truth.estimate_parameters(expected);
         let strategy = Strategy::new(idx as u64, *structure, *organization, *style, params);
@@ -112,9 +111,7 @@ fn synthetic_batch_respects_budget_for_all_configurations() {
                 assert_eq!(rec.strategy_indices.len(), 5);
                 // Every recommended strategy really satisfies the request.
                 for &s in &rec.strategy_indices {
-                    assert!(
-                        instance.strategies[s].satisfies(&instance.requests[rec.request_index])
-                    );
+                    assert!(instance.strategies[s].satisfies(&instance.requests[rec.request_index]));
                 }
             }
         }

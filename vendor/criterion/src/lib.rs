@@ -1,0 +1,224 @@
+//! A small wall-clock benchmarking harness exposing the subset of the
+//! `criterion` 0.5 API this workspace uses: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`] and `Bencher::iter`.
+//!
+//! Each benchmark runs a short warm-up followed by `sample_size` timed
+//! samples (batching very fast closures so a sample is long enough to
+//! measure) and prints the minimum, mean and maximum sample time. There is
+//! no statistical analysis or HTML report — the goal is honest comparative
+//! numbers in environments where the real criterion crate is unavailable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Benchmarks a closure under `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (a no-op in this harness; kept for API fidelity).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; records the timed routine.
+pub struct Bencher {
+    batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine`, running it `batch` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.batch as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Calibration: find a batch size so one sample takes ≥ ~1 ms, capping
+    // total time for slow routines.
+    let mut bencher = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let probe = *bencher.samples.first().expect("routine ran once");
+    let batch = if probe < Duration::from_millis(1) {
+        (Duration::from_millis(1).as_nanos() / probe.as_nanos().max(1)).clamp(1, 1 << 16) as u64
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        batch,
+        samples: Vec::with_capacity(sample_size),
+    };
+    let budget = Duration::from_secs(5);
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+
+    let samples = &bencher.samples;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    println!(
+        "bench {label:<48} [{} .. {} .. {}] ({} samples x {batch} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10_u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(42)));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

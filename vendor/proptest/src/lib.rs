@@ -1,0 +1,315 @@
+//! A deterministic mini property-testing harness exposing the subset of the
+//! `proptest` 1.x API this workspace uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(x in strategy, ...)`
+//!   bodies;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`];
+//! * strategies: numeric `Range` / `RangeInclusive`, tuples of strategies,
+//!   [`collection::vec`] and [`bool::ANY`].
+//!
+//! Each test runs a fixed number of cases (default 64, override with the
+//! `PROPTEST_CASES` environment variable) with inputs drawn from an RNG
+//! seeded deterministically from the test name, so failures are always
+//! reproducible. Unlike the real proptest there is no shrinking: the failing
+//! input is printed as-is.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::{Rng, SeedableRng, StdRng};
+
+/// Strategy abstraction: something that can generate values from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+impl_range_strategy!(f64, u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            use rand::Rng as _;
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            use rand::Rng as _;
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Test-case control flow used by the macros.
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// `prop_assert!` / `prop_assert_eq!` failed with a message.
+        Fail(String),
+    }
+
+    /// Number of cases to run per property (env `PROPTEST_CASES`, default 64).
+    #[must_use]
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test seed derived from the test's name (FNV-1a).
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// The common glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Wraps property functions into `#[test]`s running many deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::SeedableRng as _;
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::StdRng::seed_from_u64(
+                    $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
+                            "property {} failed at case {case}/{cases}: {message}\n  inputs: {inputs}",
+                            stringify!($name),
+                        ),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current property case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Skips the current property case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // Macro-namespace imports; rustc cannot see the uses inside `proptest!`.
+    #[allow(unused_imports)]
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_compose(
+            xs in crate::collection::vec(0.0_f64..1.0, 1..16),
+            k in 1_usize..4,
+            flag in crate::bool::ANY,
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!((1..4).contains(&k));
+            let negated = !flag;
+            prop_assert_eq!(flag, !negated);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(
+            point in (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+        ) {
+            prop_assert!(point.0 < 1.0 && point.1 < 1.0 && point.2 < 1.0);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(
+            crate::test_runner::seed_for("a"),
+            crate::test_runner::seed_for("b")
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal `rand_distr` 0.4 surface: the [`Distribution`] trait plus
+//! [`Normal`] (polar Box–Muller, stateless) and [`Exp`] (inverse CDF).
+
+use rand::RngCore;
+
+/// A distribution samplable with any [`rand::Rng`].
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for non-finite parameters or a negative
+    /// standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method without pair caching (the distribution is
+        // sampled through `&self`, so no state can be kept).
+        loop {
+            let u = 2.0 * rng.next_unit_f64() - 1.0;
+            let v = 2.0 * rng.next_unit_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Error constructing an [`Exp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpError;
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<T> {
+    lambda: T,
+}
+
+impl Exp<f64> {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] when `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ExpError);
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u stays in (0, 1] so the logarithm is finite.
+        -(1.0 - rng.next_unit_f64()).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng, StdRng};
+
+    #[test]
+    fn normal_moments() {
+        let normal = Normal::new(0.75, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 0.75).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.005, "std {}", var.sqrt());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let exp = Exp::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert!((0..1_000).all(|_| exp.sample(&mut rng2) >= 0.0));
+        let _ = rng.gen::<f64>();
+    }
+}

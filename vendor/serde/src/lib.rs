@@ -1,0 +1,14 @@
+//! Marker `Serialize` / `Deserialize` traits plus the no-op derive macros.
+//!
+//! The workspace only uses serde for trait derives on its data types; nothing
+//! is serialized at runtime, so marker traits are sufficient. `use
+//! serde::{Serialize, Deserialize}` imports both the trait (type namespace)
+//! and the derive macro (macro namespace), exactly like the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

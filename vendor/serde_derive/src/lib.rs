@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives the serde traits for API fidelity but never
+//! serializes anything at runtime, so the derives expand to nothing. The
+//! `serde` helper attribute is accepted (and ignored) for compatibility.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
