@@ -1,0 +1,125 @@
+//! Catalog maintenance under churn at the paper's scale (`|S| = 10 000`):
+//! per-epoch full rebuild vs the mutable catalog's log-structured overlay.
+//!
+//! Each measured iteration replays the same epoch stream — insert/retire
+//! churn followed by the epoch's eligibility queries — through both
+//! maintenance disciplines:
+//!
+//! * **rebuild** — maintain a plain live `Vec<Strategy>` and bulk-load a
+//!   fresh `StrategyCatalog` every epoch (what a long-running service had to
+//!   do before the catalog became mutable);
+//! * **overlay** — mutate one long-lived catalog in place; the overlay
+//!   absorbs the churn and is merged into the R-tree at the policy
+//!   threshold.
+//!
+//! Both disciplines retire exactly the same strategies (`ChurnEpoch` stores
+//! rank-based picks) and answer exactly the same queries, so the timing gap
+//! is pure maintenance cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec_workload::churn::ChurnScenario;
+
+fn paper_scale_scenario(churn_rate: f64) -> ChurnScenario {
+    ChurnScenario {
+        initial_strategies: 10_000,
+        epochs: 3,
+        batch_size: 10,
+        k: 10,
+        ..ChurnScenario::default()
+    }
+    .with_churn_rate(churn_rate)
+}
+
+fn bench_rebuild_vs_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_10k");
+    group.sample_size(10);
+    for &churn_pct in &[1_usize, 5, 10] {
+        let instance = paper_scale_scenario(churn_pct as f64 / 100.0).materialize();
+
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_per_epoch", format!("{churn_pct}pct")),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let mut live = instance.initial.clone();
+                    let mut served = 0usize;
+                    for epoch in &instance.epochs {
+                        epoch.apply_to_vec(&mut live);
+                        let catalog = StrategyCatalog::from_slice(&live);
+                        for request in &epoch.requests {
+                            served += catalog.eligible_for_request(request).len();
+                        }
+                    }
+                    black_box(served)
+                });
+            },
+        );
+
+        // The long-lived catalog was built once, long before the measured
+        // epochs; clone the prebuilt state per iteration instead of paying
+        // the initial bulk load inside the measurement.
+        let base = instance.catalog(RebuildPolicy::default());
+        group.bench_with_input(
+            BenchmarkId::new("overlay", format!("{churn_pct}pct")),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let mut catalog = base.clone();
+                    let mut served = 0usize;
+                    for epoch in &instance.epochs {
+                        epoch.apply(&mut catalog);
+                        for request in &epoch.requests {
+                            served += catalog.eligible_for_request(request).len();
+                        }
+                    }
+                    black_box(served)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The maintenance primitive in isolation (no query load): one epoch of 1 %
+/// churn absorbed by the overlay vs paid as a full bulk reload, plus the
+/// overlay across merge policies.
+fn bench_maintenance_primitive(c: &mut Criterion) {
+    let instance = paper_scale_scenario(0.01).materialize();
+    let epoch = &instance.epochs[0];
+    let mut group = c.benchmark_group("churn_maintenance_10k_1pct");
+    group.sample_size(10);
+
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let mut live = instance.initial.clone();
+            epoch.apply_to_vec(&mut live);
+            black_box(StrategyCatalog::from_slice(&live).len())
+        });
+    });
+    for (label, policy) in [
+        ("overlay_merge_always", RebuildPolicy::always()),
+        ("overlay_threshold_128", RebuildPolicy::default()),
+        ("overlay_never_merge", RebuildPolicy::never()),
+    ] {
+        // Prebuilt long-lived catalog: each sample pays a clone plus the
+        // epoch's incremental maintenance, never the initial bulk load.
+        let base = instance.catalog(policy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut catalog = base.clone();
+                epoch.apply(&mut catalog);
+                black_box(catalog.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rebuild_vs_overlay,
+    bench_maintenance_primitive
+);
+criterion_main!(benches);

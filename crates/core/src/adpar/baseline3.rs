@@ -41,16 +41,24 @@ impl AdparSolver for AdparBaseline3 {
         let k = problem.k;
 
         // Index strategies as points in the normalized minimization space.
-        // Problems built over a shared `StrategyCatalog` already carry that
-        // index; reuse it (identical tree: same points, same capacity, same
-        // bulk-load) instead of re-normalizing and re-loading per solve.
+        // Problems built over a shared `StrategyCatalog` carry its index;
+        // reuse it whenever it is still a deterministic STR bulk load over
+        // exactly the live slots (pristine, or re-packed by
+        // `force_rebuild`). A churned catalog's tree may contain tombstoned
+        // slots, miss the tail, or have an incrementally merged structure
+        // that is not the packing this baseline is pinned to — then
+        // bulk-load the live slots instead; entries keep their stable slot
+        // indices via `bulk_load_entries`.
         let owned;
         let tree: &RTree = match problem.catalog() {
-            Some(catalog) if catalog.index().node_capacity() == self.node_capacity => {
+            Some(catalog)
+                if catalog.index_is_packed_live()
+                    && catalog.index().node_capacity() == self.node_capacity =>
+            {
                 catalog.index()
             }
             Some(catalog) => {
-                owned = RTree::bulk_load_with_capacity(catalog.points(), self.node_capacity);
+                owned = RTree::bulk_load_entries(catalog.live_entries(), self.node_capacity);
                 &owned
             }
             None => {

@@ -19,13 +19,21 @@ pub struct AdparBruteForce;
 impl AdparSolver for AdparBruteForce {
     fn solve(&self, problem: &AdparProblem<'_>) -> Result<AdparSolution, StratRecError> {
         problem.validate()?;
-        let relaxations = problem.relaxations();
+        // Retired catalog slots carry an infinite sentinel relaxation; drop
+        // them up front so the enumeration only visits live strategies
+        // (validate() guarantees at least k of those).
+        let relaxations: Vec<Point3> = problem
+            .relaxations()
+            .iter()
+            .copied()
+            .filter(|r| r.x.is_finite())
+            .collect();
         let k = problem.k;
 
         let mut best: Option<(f64, Point3)> = None;
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
         enumerate_subsets(
-            relaxations,
+            &relaxations,
             k,
             0,
             Point3::origin(),

@@ -124,9 +124,13 @@ impl AdparSolver for AdparExact {
 }
 
 /// Sorted, deduplicated candidate relaxation values for one axis, always
-/// including zero (no relaxation).
+/// including zero (no relaxation). Non-finite values — the retired-slot
+/// sentinel of catalog-backed problems — are discarded: a retired strategy
+/// can never sit on an optimal boundary.
 fn candidate_values(values: impl Iterator<Item = f64>) -> Vec<f64> {
-    let mut candidates: Vec<f64> = std::iter::once(0.0).chain(values).collect();
+    let mut candidates: Vec<f64> = std::iter::once(0.0)
+        .chain(values.filter(|v| v.is_finite()))
+        .collect();
     candidates.sort_by(f64::total_cmp);
     candidates.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
     candidates

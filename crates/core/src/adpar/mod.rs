@@ -42,11 +42,23 @@ use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
 /// [`Self::covered_by`] call). Problems built with [`Self::with_catalog`]
 /// additionally share the catalog's pre-normalized points and R-tree, which
 /// lets [`AdparBaseline3`] skip its per-solve bulk load.
+///
+/// Over a churned catalog, retired slots carry the [`retired_relaxation`]
+/// sentinel (infinite on every axis), so no solver can ever cover or report
+/// them; [`Self::validate`] counts live strategies only. The cached
+/// relaxations are valid for exactly one catalog [`epoch`]: the problem
+/// borrows the catalog, so Rust's borrow rules already prevent mutation
+/// while the problem is alive, and [`Self::catalog_epoch`] lets any derived
+/// cache that outlives the borrow invalidate on the next epoch bump.
+///
+/// [`epoch`]: StrategyCatalog::epoch
 #[derive(Debug, Clone)]
 pub struct AdparProblem<'a> {
     /// The request whose parameters need relaxing.
     pub request: &'a DeploymentRequest,
-    /// All strategies available on the platform.
+    /// All strategy slots of the platform (retired slots included when built
+    /// over a churned catalog — their relaxations are the infinite
+    /// sentinel).
     pub strategies: &'a [Strategy],
     /// Number of strategies the alternative parameters must admit.
     pub k: usize,
@@ -54,6 +66,16 @@ pub struct AdparProblem<'a> {
     relaxations: Vec<Point3>,
     /// Shared catalog, when the problem was built from one.
     catalog: Option<&'a StrategyCatalog>,
+    /// Catalog epoch the relaxations were computed at (0 without a catalog).
+    catalog_epoch: u64,
+}
+
+/// Relaxation sentinel for retired catalog slots: infinite on every axis, so
+/// it is never covered by any finite relaxation and never admitted by any
+/// sweep.
+#[must_use]
+pub fn retired_relaxation() -> Point3 {
+    Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY)
 }
 
 impl<'a> AdparProblem<'a> {
@@ -67,12 +89,15 @@ impl<'a> AdparProblem<'a> {
             k,
             relaxations,
             catalog: None,
+            catalog_epoch: 0,
         }
     }
 
     /// Creates a problem instance over a shared [`StrategyCatalog`],
     /// reusing its pre-normalized points and R-tree index. The solution of
-    /// every solver is identical to the plain [`Self::new`] construction.
+    /// every solver is identical to the plain [`Self::new`] construction
+    /// over the catalog's **live** strategies (retired slots get the
+    /// infinite sentinel and are transparent to every solver).
     #[must_use]
     pub fn with_catalog(
         request: &'a DeploymentRequest,
@@ -80,13 +105,25 @@ impl<'a> AdparProblem<'a> {
         k: usize,
     ) -> Self {
         let strategies = catalog.strategies();
-        let relaxations = compute_relaxations(request, strategies);
+        let d = &request.params;
+        let relaxations = strategies
+            .iter()
+            .enumerate()
+            .map(|(slot, s)| {
+                if catalog.is_live(slot) {
+                    relaxation_of(&s.params, d)
+                } else {
+                    retired_relaxation()
+                }
+            })
+            .collect();
         Self {
             request,
             strategies,
             k,
             relaxations,
             catalog: Some(catalog),
+            catalog_epoch: catalog.epoch(),
         }
     }
 
@@ -96,7 +133,24 @@ impl<'a> AdparProblem<'a> {
         self.catalog
     }
 
-    /// Validates the instance: `k ≥ 1` and at least `k` strategies exist.
+    /// The catalog epoch the cached relaxations were computed at (0 for
+    /// plain-slice problems). Caches keyed by this value must be discarded
+    /// once [`StrategyCatalog::epoch`] moves past it.
+    #[must_use]
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
+    }
+
+    /// Number of strategies a relaxation could ever cover: the catalog's
+    /// live count, or the full slice length for plain problems.
+    #[must_use]
+    pub fn available_strategies(&self) -> usize {
+        self.catalog
+            .map_or(self.strategies.len(), StrategyCatalog::len)
+    }
+
+    /// Validates the instance: `k ≥ 1` and at least `k` **live** strategies
+    /// exist.
     ///
     /// # Errors
     ///
@@ -106,9 +160,10 @@ impl<'a> AdparProblem<'a> {
         if self.k == 0 {
             return Err(StratRecError::ZeroCardinality);
         }
-        if self.strategies.len() < self.k {
+        let available = self.available_strategies();
+        if available < self.k {
             return Err(StratRecError::NotEnoughStrategies {
-                available: self.strategies.len(),
+                available,
                 requested: self.k,
             });
         }
@@ -143,7 +198,8 @@ impl<'a> AdparProblem<'a> {
     }
 
     /// Indices of the strategies covered by a relaxation vector (those whose
-    /// own relaxation is component-wise ≤ the given one).
+    /// own relaxation is component-wise ≤ the given one). Retired catalog
+    /// slots are never covered — their sentinel relaxation is infinite.
     #[must_use]
     pub fn covered_by(&self, relaxation: Point3) -> Vec<usize> {
         self.relaxations

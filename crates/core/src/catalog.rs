@@ -19,22 +19,127 @@
 //! * [`crate::stratrec::StratRec`] fans unsatisfied requests out to ADPaR in
 //!   parallel over the same shared catalog.
 //!
+//! # Live churn: insert / retire with a log-structured overlay
+//!
+//! A crowdsourcing platform adds and retires strategies continuously, so the
+//! catalog is **mutable**: [`Self::insert`] appends a strategy to a small
+//! unindexed *tail* and [`Self::retire`] marks a slot with a *tombstone*.
+//! Queries answer `index ∪ tail − tombstones`: the R-tree reports candidates
+//! from the last merge (tombstoned hits are filtered out), the tail is
+//! scanned linearly, and every candidate is confirmed with the exact
+//! predicate — so results are **exact at every point of the churn stream**.
+//! When the overlay (tail + pending tombstones) outgrows the
+//! [`RebuildPolicy`] threshold it is merged into the R-tree incrementally
+//! (`RTree::remove` for tombstones, `RTree::insert` with node splits for the
+//! tail), which is far cheaper than the per-epoch full rebuild a long-running
+//! service would otherwise pay; [`Self::force_rebuild`] re-packs the tree
+//! from scratch when desired.
+//!
+//! Slot indices are **stable**: retiring never renumbers, so
+//! `strategy_indices` in recommendations stay valid across churn.
+//! [`Self::epoch`] increments on every mutation and is captured by
+//! catalog-backed [`crate::adpar::AdparProblem`]s, giving external caches a
+//! key to invalidate on.
+//!
+//! The price of stability is that retired slots are tombstoned, not
+//! reclaimed: [`Self::slot_count`] grows monotonically with churn while
+//! [`Self::len`] tracks the live set, and slot-shaped allocations
+//! (workforce-matrix columns, per-slot relaxations) scale with it. For
+//! services churning indefinitely, periodically rebuild a fresh compacted
+//! catalog from [`Self::live_indices`] at a natural epoch boundary and
+//! remap any retained slot references (a first-class `compact()` with a
+//! slot remap is on the roadmap).
+//!
 //! All catalog-backed paths return results **identical** to the linear-scan
-//! paths (the R-tree query is a conservative candidate filter followed by the
-//! exact [`DeploymentParameters::satisfies`] predicate); the parity tests in
-//! `tests/catalog_parity.rs` pin this down.
+//! paths over the live strategies (the R-tree query is a conservative
+//! candidate filter followed by the exact
+//! [`DeploymentParameters::satisfies`] predicate); the parity tests in
+//! `tests/catalog_parity.rs` and the property-based churn suite in
+//! `tests/catalog_churn.rs` pin this down.
 
 use serde::{Deserialize, Serialize};
 use stratrec_geometry::{Aabb3, Point3, RTree};
 
 use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
 
-/// A strategy set normalized once and indexed for box queries.
+/// Default overlay size above which the catalog merges into its R-tree.
+pub const DEFAULT_REBUILD_THRESHOLD: usize = 128;
+
+/// When the catalog merges its log-structured overlay into the R-tree.
+///
+/// The overlay is the unindexed tail of recent inserts plus the tombstones
+/// still present in the index; a merge is triggered as soon as the overlay
+/// size *exceeds* the limit. [`RebuildPolicy::always`] (limit 0) keeps the
+/// index exact after every mutation, [`RebuildPolicy::never`] leaves the
+/// overlay to grow unboundedly (queries stay exact either way — the overlay
+/// is scanned linearly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RebuildPolicy {
+    overlay_limit: usize,
+}
+
+impl RebuildPolicy {
+    /// Merge once the overlay holds more than `limit` entries.
+    #[must_use]
+    pub const fn threshold(limit: usize) -> Self {
+        Self {
+            overlay_limit: limit,
+        }
+    }
+
+    /// Merge after every mutation (threshold 0): the index always reflects
+    /// the full live set.
+    #[must_use]
+    pub const fn always() -> Self {
+        Self::threshold(0)
+    }
+
+    /// Never merge: the tail and tombstone set absorb all churn.
+    #[must_use]
+    pub const fn never() -> Self {
+        Self::threshold(usize::MAX)
+    }
+
+    /// The overlay size above which a merge is triggered.
+    #[must_use]
+    pub const fn overlay_limit(self) -> usize {
+        self.overlay_limit
+    }
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        Self::threshold(DEFAULT_REBUILD_THRESHOLD)
+    }
+}
+
+/// A strategy set normalized once and indexed for box queries, absorbing
+/// live insert/retire churn through a log-structured overlay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StrategyCatalog {
+    /// Every slot ever inserted, retired ones included (stable indices).
     strategies: Vec<Strategy>,
+    /// Normalized points, parallel to `strategies`.
     points: Vec<Point3>,
+    /// Liveness per slot; `false` marks a retired (tombstoned) slot.
+    live: Vec<bool>,
+    /// Number of live slots.
+    live_count: usize,
+    /// R-tree over the slots present at the last merge.
     index: RTree,
+    /// Live slots inserted since the last merge (ascending, not indexed).
+    tail: Vec<usize>,
+    /// Retired slots still present in `index`.
+    pending_tombstones: Vec<usize>,
+    /// Overlay merge policy.
+    policy: RebuildPolicy,
+    /// Bumped on every `insert` / `retire`; cache-invalidation key.
+    epoch: u64,
+    /// Number of overlay merges / full rebuilds performed.
+    merges: u64,
+    /// Whether `index` is still a deterministic STR bulk load (set by
+    /// construction and `force_rebuild`, cleared by incremental merges).
+    packed: bool,
 }
 
 /// Margin added to eligibility query boxes so the R-tree pass is a strict
@@ -45,67 +150,258 @@ const QUERY_MARGIN: f64 = 2e-9;
 
 impl StrategyCatalog {
     /// Builds a catalog owning `strategies`, normalizing every strategy into
-    /// the minimization space and bulk-loading the R-tree index.
+    /// the minimization space and bulk-loading the R-tree index. Accepts
+    /// anything convertible into a `Vec<Strategy>` (an owned vector moves in
+    /// without a copy; a borrowed slice is cloned once).
     #[must_use]
-    pub fn new(strategies: Vec<Strategy>) -> Self {
+    pub fn new(strategies: impl Into<Vec<Strategy>>) -> Self {
+        Self::with_policy(strategies, RebuildPolicy::default())
+    }
+
+    /// Builds a catalog with an explicit overlay merge policy.
+    #[must_use]
+    pub fn with_policy(strategies: impl Into<Vec<Strategy>>, policy: RebuildPolicy) -> Self {
+        let strategies: Vec<Strategy> = strategies.into();
         let points: Vec<Point3> = strategies
             .iter()
             .map(Strategy::to_normalized_point)
             .collect();
         let index = RTree::bulk_load(&points);
+        let live_count = strategies.len();
         Self {
+            live: vec![true; live_count],
+            live_count,
             strategies,
             points,
             index,
+            tail: Vec::new(),
+            pending_tombstones: Vec::new(),
+            policy,
+            epoch: 0,
+            merges: 0,
+            packed: true,
         }
     }
 
-    /// Builds a catalog from a borrowed strategy slice (cloning it).
+    /// Builds a catalog from a borrowed strategy slice (cloning it once).
     #[must_use]
     pub fn from_slice(strategies: &[Strategy]) -> Self {
-        Self::new(strategies.to_vec())
+        Self::new(strategies)
     }
 
-    /// The indexed strategies, in their original order.
+    /// Inserts a strategy, returning its stable slot index. The strategy
+    /// lands in the unindexed tail and is merged into the R-tree when the
+    /// overlay crosses the rebuild threshold; it is eligible for queries
+    /// immediately either way.
+    pub fn insert(&mut self, strategy: Strategy) -> usize {
+        let slot = self.strategies.len();
+        let point = strategy.to_normalized_point();
+        self.strategies.push(strategy);
+        self.points.push(point);
+        self.live.push(true);
+        self.live_count += 1;
+        self.tail.push(slot);
+        self.epoch += 1;
+        self.maybe_merge();
+        slot
+    }
+
+    /// Retires the strategy at `slot`, returning whether a live strategy was
+    /// retired (`false` for out-of-range or already-retired slots). The slot
+    /// index is never reused; queries stop reporting it immediately.
+    pub fn retire(&mut self, slot: usize) -> bool {
+        if slot >= self.strategies.len() || !self.live[slot] {
+            return false;
+        }
+        self.live[slot] = false;
+        self.live_count -= 1;
+        if let Ok(pos) = self.tail.binary_search(&slot) {
+            // Never indexed: drop it from the tail and we are done.
+            self.tail.remove(pos);
+        } else {
+            self.pending_tombstones.push(slot);
+        }
+        self.epoch += 1;
+        self.maybe_merge();
+        true
+    }
+
+    /// Merges the overlay when it outgrows the policy threshold.
+    fn maybe_merge(&mut self) {
+        if self.overlay_len() > self.policy.overlay_limit() {
+            self.merge_overlay();
+        }
+    }
+
+    /// Merges the overlay into the R-tree incrementally: pending tombstones
+    /// are removed, tail entries inserted (with node splits). No-op when the
+    /// overlay is empty.
+    pub fn merge_overlay(&mut self) {
+        if self.overlay_is_empty() {
+            return;
+        }
+        for slot in std::mem::take(&mut self.pending_tombstones) {
+            let removed = self.index.remove(slot, &self.points[slot]);
+            debug_assert!(removed, "tombstoned slot {slot} was not in the index");
+        }
+        for slot in std::mem::take(&mut self.tail) {
+            self.index.insert(slot, self.points[slot]);
+        }
+        self.merges += 1;
+        self.packed = false;
+    }
+
+    /// Re-packs the R-tree from scratch over the live slots (STR bulk load)
+    /// and clears the overlay. Use after heavy churn to restore the packed
+    /// structure incremental merges slowly degrade.
+    pub fn force_rebuild(&mut self) {
+        self.index = RTree::bulk_load_entries(self.live_entries(), self.index.node_capacity());
+        self.tail.clear();
+        self.pending_tombstones.clear();
+        self.merges += 1;
+        self.packed = true;
+    }
+
+    /// Every slot ever inserted, in slot order — **including retired
+    /// slots**; check [`Self::is_live`] or use [`Self::live_indices`] when
+    /// liveness matters. Pristine catalogs (no churn) contain live slots
+    /// only.
     #[must_use]
     pub fn strategies(&self) -> &[Strategy] {
         &self.strategies
     }
 
-    /// The pre-normalized strategy points (parallel to
+    /// The strategy at `slot` (retired slots included — their metadata stays
+    /// addressable for reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot >= self.slot_count()`.
+    #[must_use]
+    pub fn strategy(&self, slot: usize) -> &Strategy {
+        &self.strategies[slot]
+    }
+
+    /// Whether `slot` refers to a live (non-retired) strategy; `false` for
+    /// out-of-range slots.
+    #[must_use]
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The live slot indices, ascending.
+    #[must_use]
+    pub fn live_indices(&self) -> Vec<usize> {
+        (0..self.strategies.len())
+            .filter(|&i| self.live[i])
+            .collect()
+    }
+
+    /// The live `(slot, normalized point)` entries, ascending by slot.
+    #[must_use]
+    pub fn live_entries(&self) -> Vec<(usize, Point3)> {
+        (0..self.strategies.len())
+            .filter(|&i| self.live[i])
+            .map(|i| (i, self.points[i]))
+            .collect()
+    }
+
+    /// The pre-normalized points of **all** slots (parallel to
     /// [`Self::strategies`]): `(1 − quality, cost, latency)`.
     #[must_use]
     pub fn points(&self) -> &[Point3] {
         &self.points
     }
 
-    /// The shared R-tree over [`Self::points`].
+    /// The shared R-tree. Between merges it covers the slots live at the
+    /// last merge — use [`Self::eligible_for`] for exact answers, or check
+    /// [`Self::is_pristine`] before treating the tree as the full live set.
     #[must_use]
     pub fn index(&self) -> &RTree {
         &self.index
     }
 
-    /// Number of strategies in the catalog.
+    /// Number of **live** strategies in the catalog.
     #[must_use]
     pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether the catalog has no live strategies.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Total number of slots ever allocated (live + retired).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
         self.strategies.len()
     }
 
-    /// Whether the catalog is empty.
+    /// Size of the log-structured overlay: unindexed tail entries plus
+    /// tombstones still present in the index.
     #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.strategies.is_empty()
+    pub fn overlay_len(&self) -> usize {
+        self.tail.len() + self.pending_tombstones.len()
     }
 
-    /// Indices of the strategies satisfying the request thresholds `params`,
-    /// ascending — exactly the set (and order) of
-    /// [`DeploymentRequest::eligible_strategies`], found through the index.
+    /// Whether the overlay is empty (the R-tree covers exactly the live
+    /// set).
+    #[must_use]
+    pub fn overlay_is_empty(&self) -> bool {
+        self.tail.is_empty() && self.pending_tombstones.is_empty()
+    }
+
+    /// Whether the catalog has never been mutated — its R-tree is still the
+    /// pristine STR bulk load over slots `0..n`.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.epoch == 0
+    }
+
+    /// Whether the R-tree is a deterministic STR bulk load covering exactly
+    /// the live slots (true at construction and after
+    /// [`Self::force_rebuild`] with no overlay since; false once an
+    /// incremental merge reshaped the tree). `Baseline3` shares the index
+    /// only in this state — its MBB heuristic is pinned to the packed
+    /// structure.
+    #[must_use]
+    pub fn index_is_packed_live(&self) -> bool {
+        self.packed && self.overlay_is_empty()
+    }
+
+    /// Mutation counter: bumped by every [`Self::insert`] / [`Self::retire`].
+    /// Derived data (cached ADPaR relaxations, memoized solutions) keyed by
+    /// an epoch must be discarded when the catalog's epoch moves past it.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of overlay merges / full rebuilds performed so far.
+    #[must_use]
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// The overlay merge policy.
+    #[must_use]
+    pub fn rebuild_policy(&self) -> RebuildPolicy {
+        self.policy
+    }
+
+    /// Indices of the live strategies satisfying the request thresholds
+    /// `params`, ascending — exactly the set (and order) of
+    /// [`DeploymentRequest::eligible_strategies`] over the live slots, found
+    /// through the index plus the overlay.
     ///
     /// A strategy satisfies a request when, in the normalized minimization
     /// space, its point is covered by the request's point. That makes
     /// eligibility an origin-anchored box query whose top-right corner is the
-    /// request point; the box is inflated by [`QUERY_MARGIN`] and candidates
-    /// are confirmed with the exact epsilon-tolerant predicate.
+    /// request point; the box is inflated by [`QUERY_MARGIN`], tombstoned
+    /// hits are dropped, the unindexed tail is scanned, and candidates are
+    /// confirmed with the exact epsilon-tolerant predicate.
     #[must_use]
     pub fn eligible_for(&self, params: &DeploymentParameters) -> Vec<usize> {
         let corner = params.to_normalized_point();
@@ -115,7 +411,15 @@ impl StrategyCatalog {
             corner.z + QUERY_MARGIN,
         ));
         let mut eligible = self.index.query_box(&query);
-        eligible.retain(|&i| self.strategies[i].params.satisfies(params));
+        eligible.retain(|&i| self.live[i] && self.strategies[i].params.satisfies(params));
+        // Tail slots are always newer than every indexed slot, so appending
+        // the (ascending) tail keeps the result sorted.
+        eligible.extend(
+            self.tail
+                .iter()
+                .copied()
+                .filter(|&i| self.strategies[i].params.satisfies(params)),
+        );
         eligible
     }
 
@@ -141,13 +445,19 @@ mod tests {
         let strategies = crate::examples_data::running_example_strategies();
         let catalog = StrategyCatalog::from_slice(&strategies);
         assert_eq!(catalog.len(), 4);
+        assert_eq!(catalog.slot_count(), 4);
         assert!(!catalog.is_empty());
+        assert!(catalog.is_pristine());
+        assert_eq!(catalog.epoch(), 0);
         assert_eq!(catalog.strategies(), &strategies[..]);
         assert_eq!(catalog.points().len(), 4);
         assert_eq!(catalog.index().len(), 4);
-        for (strategy, point) in strategies.iter().zip(catalog.points()) {
+        for (i, (strategy, point)) in strategies.iter().zip(catalog.points()).enumerate() {
             assert_eq!(strategy.to_normalized_point(), *point);
+            assert_eq!(catalog.strategy(i), strategy);
+            assert!(catalog.is_live(i));
         }
+        assert!(!catalog.is_live(4));
     }
 
     #[test]
@@ -191,5 +501,157 @@ mod tests {
         let a = StrategyCatalog::from_slice(&strategies);
         let b: StrategyCatalog = strategies.into();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_appends_a_live_slot_and_bumps_the_epoch() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let mut catalog = StrategyCatalog::from_slice(&strategies);
+        let loosest = DeploymentParameters::default();
+        let slot = catalog.insert(Strategy::from_params(
+            99,
+            DeploymentParameters::clamped(0.9, 0.1, 0.1),
+        ));
+        assert_eq!(slot, 4);
+        assert_eq!(catalog.len(), 5);
+        assert_eq!(catalog.slot_count(), 5);
+        assert_eq!(catalog.epoch(), 1);
+        assert!(!catalog.is_pristine());
+        assert!(catalog.is_live(slot));
+        // Immediately visible to queries even while still in the tail.
+        assert!(catalog.eligible_for(&loosest).contains(&slot));
+    }
+
+    #[test]
+    fn retire_tombstones_without_renumbering() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let mut catalog = StrategyCatalog::from_slice(&strategies);
+        // d3's eligible set is {1, 2, 3}; retiring slot 2 must drop exactly
+        // that slot while 1 and 3 keep their numbers.
+        assert!(catalog.retire(2));
+        assert!(!catalog.retire(2), "double retirement is a no-op");
+        assert!(!catalog.retire(42), "out-of-range retirement is a no-op");
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(catalog.slot_count(), 4);
+        assert!(!catalog.is_live(2));
+        assert_eq!(catalog.eligible_for_request(&requests[2]), vec![1, 3]);
+        assert_eq!(catalog.live_indices(), vec![0, 1, 3]);
+        assert_eq!(catalog.epoch(), 1);
+    }
+
+    #[test]
+    fn retiring_a_tail_slot_never_touches_the_index() {
+        let mut catalog = StrategyCatalog::with_policy(Vec::new(), RebuildPolicy::never());
+        let a = catalog.insert(Strategy::from_params(
+            0,
+            DeploymentParameters::clamped(0.8, 0.2, 0.2),
+        ));
+        let b = catalog.insert(Strategy::from_params(
+            1,
+            DeploymentParameters::clamped(0.9, 0.1, 0.1),
+        ));
+        assert_eq!(catalog.overlay_len(), 2);
+        assert!(catalog.retire(a));
+        // The retired slot was still in the tail: overlay shrinks instead of
+        // gaining a tombstone.
+        assert_eq!(catalog.overlay_len(), 1);
+        assert_eq!(catalog.index().len(), 0);
+        let loosest = DeploymentParameters::default();
+        assert_eq!(catalog.eligible_for(&loosest), vec![b]);
+    }
+
+    #[test]
+    fn rebuild_policies_control_merging() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let strategy = |id| Strategy::from_params(id, DeploymentParameters::clamped(0.8, 0.3, 0.3));
+
+        let mut always = StrategyCatalog::with_policy(strategies.clone(), RebuildPolicy::always());
+        always.insert(strategy(10));
+        assert!(
+            always.overlay_is_empty(),
+            "always-policy merges immediately"
+        );
+        assert_eq!(always.index().len(), 5);
+        assert_eq!(always.merge_count(), 1);
+
+        let mut never = StrategyCatalog::with_policy(strategies.clone(), RebuildPolicy::never());
+        never.insert(strategy(10));
+        never.retire(0);
+        assert_eq!(never.overlay_len(), 2);
+        assert_eq!(never.index().len(), 4, "never-policy leaves the tree alone");
+        assert_eq!(never.merge_count(), 0);
+
+        let mut thresholded = StrategyCatalog::with_policy(strategies, RebuildPolicy::threshold(2));
+        thresholded.insert(strategy(10));
+        thresholded.retire(0);
+        assert_eq!(thresholded.overlay_len(), 2, "at the limit, no merge yet");
+        thresholded.insert(strategy(11));
+        assert!(thresholded.overlay_is_empty(), "crossing the limit merges");
+        // Tombstone removed, two inserts applied: 4 - 1 + 2.
+        assert_eq!(thresholded.index().len(), 5);
+    }
+
+    #[test]
+    fn packed_live_tracking_follows_merges_and_rebuilds() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let mut catalog = StrategyCatalog::with_policy(strategies, RebuildPolicy::threshold(1));
+        assert!(
+            catalog.index_is_packed_live(),
+            "pristine catalogs are packed"
+        );
+        catalog.insert(Strategy::from_params(
+            10,
+            DeploymentParameters::clamped(0.8, 0.3, 0.3),
+        ));
+        assert!(
+            !catalog.index_is_packed_live(),
+            "an unmerged tail breaks the packed-live state"
+        );
+        catalog.insert(Strategy::from_params(
+            11,
+            DeploymentParameters::clamped(0.8, 0.3, 0.3),
+        ));
+        assert!(
+            catalog.overlay_is_empty(),
+            "threshold 1 merged at 2 entries"
+        );
+        assert!(
+            !catalog.index_is_packed_live(),
+            "incremental merges reshape the tree away from the STR packing"
+        );
+        catalog.force_rebuild();
+        assert!(
+            catalog.index_is_packed_live(),
+            "force_rebuild restores a packed live index"
+        );
+    }
+
+    #[test]
+    fn merge_and_force_rebuild_preserve_eligibility() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let mut catalog = StrategyCatalog::with_policy(strategies.clone(), RebuildPolicy::never());
+        catalog.retire(1);
+        let slot = catalog.insert(Strategy::from_params(
+            50,
+            DeploymentParameters::clamped(0.72, 0.5, 0.2),
+        ));
+        let before: Vec<Vec<usize>> = requests
+            .iter()
+            .map(|r| catalog.eligible_for_request(r))
+            .collect();
+        catalog.merge_overlay();
+        assert!(catalog.overlay_is_empty());
+        assert_eq!(catalog.index().len(), 4); // 4 - 1 tombstone + 1 insert
+        for (request, expected) in requests.iter().zip(&before) {
+            assert_eq!(&catalog.eligible_for_request(request), expected);
+        }
+        catalog.force_rebuild();
+        for (request, expected) in requests.iter().zip(&before) {
+            assert_eq!(&catalog.eligible_for_request(request), expected);
+        }
+        assert!(catalog.is_live(slot));
+        assert_eq!(catalog.live_entries().len(), 4);
     }
 }

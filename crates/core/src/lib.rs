@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::batch::{
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
-    pub use crate::catalog::StrategyCatalog;
+    pub use crate::catalog::{RebuildPolicy, StrategyCatalog};
     pub use crate::error::StratRecError;
     pub use crate::model::{
         DeploymentParameters, DeploymentRequest, Organization, RequestId, Strategy, StrategyId,

@@ -128,15 +128,21 @@ impl WorkforceMatrix {
     /// only prunes which cells need the model inversion; ineligible cells
     /// stay at `f64::INFINITY` exactly as in the scan path.
     ///
-    /// With [`EligibilityRule::ModelOnly`] every cell is feasible by
-    /// definition, so the index offers nothing and all cells are computed.
+    /// Columns are catalog **slots** (live and retired), so column numbers
+    /// stay stable across churn; retired slots are infeasible
+    /// (`f64::INFINITY`) in every row and never consult the model library.
+    ///
+    /// With [`EligibilityRule::ModelOnly`] every **live** cell is feasible
+    /// by definition, so the index offers nothing and all live cells are
+    /// computed.
     ///
     /// # Errors
     ///
-    /// Returns [`StratRecError::MissingModel`] when any catalog strategy has
-    /// no fitted model in `models` (the scan path's contract, preserved even
-    /// for strategies that are never eligible). As in the scan path, an
-    /// empty batch never consults the model library and always succeeds.
+    /// Returns [`StratRecError::MissingModel`] when any **live** catalog
+    /// strategy has no fitted model in `models` (the scan path's contract,
+    /// preserved even for strategies that are never eligible). As in the
+    /// scan path, an empty batch never consults the model library and always
+    /// succeeds.
     pub fn compute_with_catalog(
         requests: &[DeploymentRequest],
         catalog: &StrategyCatalog,
@@ -153,9 +159,18 @@ impl WorkforceMatrix {
         }
         // Hoist the per-cell model lookups of the scan path into one
         // id-indexed pass; this also enforces the missing-model contract.
-        let strategy_models: Vec<&StrategyModel> = strategies
+        // Retired slots keep a `None` placeholder: their model may have been
+        // dropped from the library along with the strategy.
+        let strategy_models: Vec<Option<&StrategyModel>> = strategies
             .iter()
-            .map(|s| models.require(s.id))
+            .enumerate()
+            .map(|(slot, s)| {
+                if catalog.is_live(slot) {
+                    models.require(s.id).map(Some)
+                } else {
+                    Ok(None)
+                }
+            })
             .collect::<Result<_, _>>()?;
         let cols = strategies.len();
         let mut cells = vec![f64::INFINITY; requests.len() * cols];
@@ -163,12 +178,15 @@ impl WorkforceMatrix {
             match rule {
                 EligibilityRule::StrategyParameters => {
                     for j in catalog.eligible_for(&request.params) {
-                        row[j] = strategy_models[j].required_workforce(&request.params);
+                        let model = strategy_models[j].expect("eligible slots are live");
+                        row[j] = model.required_workforce(&request.params);
                     }
                 }
                 EligibilityRule::ModelOnly => {
                     for (cell, model) in row.iter_mut().zip(&strategy_models) {
-                        *cell = model.required_workforce(&request.params);
+                        if let Some(model) = model {
+                            *cell = model.required_workforce(&request.params);
+                        }
                     }
                 }
             }

@@ -7,6 +7,17 @@
 //! exactly contains k strategies" (§5.2.1). This module provides that index:
 //! a Sort-Tile-Recursive (STR) bulk-loaded R-tree whose nodes expose their
 //! MBBs, plus range counting / reporting used elsewhere for verification.
+//!
+//! Beyond bulk loading, the tree supports **incremental mutation** for the
+//! log-structured [`StrategyCatalog`] overlay (`stratrec_core::catalog`):
+//! [`RTree::insert`] descends by least volume enlargement and splits
+//! overflowing nodes with the classic quadratic split, and [`RTree::remove`]
+//! deletes one entry, prunes emptied nodes, lifts single-child internals and
+//! re-tightens every MBB on the path. Entries carry caller-chosen indices
+//! ([`RTree::bulk_load_entries`]), so an index can keep stable slot numbers
+//! across merges even when earlier slots have been retired.
+//!
+//! [`StrategyCatalog`]: ../stratrec_core/catalog/struct.StrategyCatalog.html
 
 use serde::{Deserialize, Serialize};
 
@@ -52,8 +63,17 @@ impl RTree {
     /// Bulk-loads a tree with an explicit node capacity (minimum 2).
     #[must_use]
     pub fn bulk_load_with_capacity(points: &[Point3], node_capacity: usize) -> Self {
+        Self::bulk_load_entries(points.iter().copied().enumerate().collect(), node_capacity)
+    }
+
+    /// Bulk-loads a tree from explicit `(index, point)` entries. Unlike
+    /// [`Self::bulk_load`], the caller controls the reported indices — the
+    /// `StrategyCatalog` uses this to rebuild over the *live* strategy slots
+    /// while keeping slot numbers stable across retirements.
+    #[must_use]
+    pub fn bulk_load_entries(entries: Vec<(usize, Point3)>, node_capacity: usize) -> Self {
         let node_capacity = node_capacity.max(2);
-        let entries: Vec<(usize, Point3)> = points.iter().copied().enumerate().collect();
+        let len = entries.len();
         let root = if entries.is_empty() {
             None
         } else {
@@ -61,9 +81,64 @@ impl RTree {
         };
         Self {
             root,
-            len: points.len(),
+            len,
             node_capacity,
         }
+    }
+
+    /// Inserts one `(index, point)` entry, descending by least volume
+    /// enlargement and splitting overflowing nodes (quadratic split). The
+    /// caller is responsible for keeping indices unique; [`Self::remove`]
+    /// deletes by index.
+    pub fn insert(&mut self, idx: usize, point: Point3) {
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node {
+                    mbb: Aabb3::from_point(point),
+                    content: NodeContent::Leaf(vec![(idx, point)]),
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_rec(&mut root, idx, point, self.node_capacity) {
+                    let mbb = root.mbb.union(&sibling.mbb);
+                    root = Node {
+                        mbb,
+                        content: NodeContent::Internal(vec![root, sibling]),
+                    };
+                }
+                self.root = Some(root);
+            }
+        }
+    }
+
+    /// Removes the entry with index `idx` located at `point`, returning
+    /// whether it was found. Emptied nodes are pruned, single-child internal
+    /// nodes are collapsed and every MBB on the deletion path is re-tightened
+    /// to exactly bound its remaining children.
+    pub fn remove(&mut self, idx: usize, point: &Point3) -> bool {
+        let Some(mut root) = self.root.take() else {
+            return false;
+        };
+        let removed = remove_rec(&mut root, idx, point);
+        if removed {
+            self.len -= 1;
+        }
+        self.root = match root {
+            Node {
+                content: NodeContent::Leaf(entries),
+                ..
+            } if entries.is_empty() => None,
+            Node {
+                content: NodeContent::Internal(children),
+                ..
+            } if children.is_empty() => None,
+            mut other => {
+                lift_single_child(&mut other);
+                Some(other)
+            }
+        };
+        removed
     }
 
     /// Number of indexed points.
@@ -184,6 +259,200 @@ fn collect_in(node: &Node, query: &Aabb3, out: &mut Vec<usize>) {
             for child in children {
                 collect_in(child, query, out);
             }
+        }
+    }
+}
+
+/// Inserts an entry below `node`, returning a split-off sibling when the node
+/// overflowed its capacity.
+fn insert_rec(node: &mut Node, idx: usize, point: Point3, capacity: usize) -> Option<Node> {
+    node.mbb = node.mbb.expanded_to_include(point);
+    match &mut node.content {
+        NodeContent::Leaf(entries) => {
+            entries.push((idx, point));
+            if entries.len() <= capacity {
+                return None;
+            }
+            let items = std::mem::take(entries);
+            let (a, mbb_a, b, mbb_b) = quadratic_split(items, |(_, p)| Aabb3::from_point(*p));
+            node.mbb = mbb_a;
+            node.content = NodeContent::Leaf(a);
+            Some(Node {
+                mbb: mbb_b,
+                content: NodeContent::Leaf(b),
+            })
+        }
+        NodeContent::Internal(children) => {
+            let chosen = choose_subtree(children, point);
+            if let Some(sibling) = insert_rec(&mut children[chosen], idx, point, capacity) {
+                children.push(sibling);
+            }
+            if children.len() <= capacity {
+                return None;
+            }
+            let items = std::mem::take(children);
+            let (a, mbb_a, b, mbb_b) = quadratic_split(items, |n: &Node| n.mbb);
+            node.mbb = mbb_a;
+            node.content = NodeContent::Internal(a);
+            Some(Node {
+                mbb: mbb_b,
+                content: NodeContent::Internal(b),
+            })
+        }
+    }
+}
+
+/// The child whose MBB needs the least volume enlargement to absorb `point`
+/// (ties: smaller volume, then first in child order — deterministic).
+fn choose_subtree(children: &[Node], point: Point3) -> usize {
+    let mut best = 0;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_volume = f64::INFINITY;
+    for (i, child) in children.iter().enumerate() {
+        let volume = child.mbb.volume();
+        let enlargement = child.mbb.expanded_to_include(point).volume() - volume;
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && volume < best_volume)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_volume = volume;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split: seed the two groups with the pair wasting the
+/// most volume when joined, then assign every other item to the group whose
+/// MBB grows least (ties: smaller group MBB volume, then the smaller
+/// group, then group A). A minimum-fill rule (~40 %) forces the remaining
+/// items into an underfull group once it needs all of them, so degenerate
+/// inputs — duplicate points, identical boxes — still split near-evenly
+/// instead of `(capacity, 1)`.
+fn quadratic_split<T>(
+    items: Vec<T>,
+    mbb_of: impl Fn(&T) -> Aabb3,
+) -> (Vec<T>, Aabb3, Vec<T>, Aabb3) {
+    debug_assert!(items.len() >= 2, "cannot split fewer than two items");
+    let boxes: Vec<Aabb3> = items.iter().map(&mbb_of).collect();
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..boxes.len() {
+        for j in (i + 1)..boxes.len() {
+            let waste = boxes[i].union(&boxes[j]).volume() - boxes[i].volume() - boxes[j].volume();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let total = items.len();
+    let min_fill = (total * 2 / 5).max(1);
+    let mut group_a: Vec<T> = Vec::with_capacity(total);
+    let mut group_b: Vec<T> = Vec::with_capacity(total);
+    let mut mbb_a = boxes[seed_a];
+    let mut mbb_b = boxes[seed_b];
+    for (pos, item) in items.into_iter().enumerate() {
+        if pos == seed_a {
+            group_a.push(item);
+            continue;
+        }
+        if pos == seed_b {
+            group_b.push(item);
+            continue;
+        }
+        // Non-seed items still to come after this one; if a group needs this
+        // item and all of them just to reach the minimum fill, it takes them.
+        let after_this = remaining_non_seeds(pos, seed_a, seed_b, total);
+        let to_a = if group_a.len() + after_this < min_fill {
+            true
+        } else if group_b.len() + after_this < min_fill {
+            false
+        } else {
+            let grown_a = mbb_a.union(&boxes[pos]);
+            let grown_b = mbb_b.union(&boxes[pos]);
+            let delta_a = grown_a.volume() - mbb_a.volume();
+            let delta_b = grown_b.volume() - mbb_b.volume();
+            delta_a < delta_b
+                || (delta_a == delta_b
+                    && (mbb_a.volume() < mbb_b.volume()
+                        || (mbb_a.volume() == mbb_b.volume() && group_a.len() <= group_b.len())))
+        };
+        if to_a {
+            mbb_a = mbb_a.union(&boxes[pos]);
+            group_a.push(item);
+        } else {
+            mbb_b = mbb_b.union(&boxes[pos]);
+            group_b.push(item);
+        }
+    }
+    (group_a, mbb_a, group_b, mbb_b)
+}
+
+/// Number of non-seed items strictly after position `pos`.
+fn remaining_non_seeds(pos: usize, seed_a: usize, seed_b: usize, total: usize) -> usize {
+    let mut remaining = total - 1 - pos;
+    if seed_a > pos {
+        remaining -= 1;
+    }
+    if seed_b > pos {
+        remaining -= 1;
+    }
+    remaining
+}
+
+/// Removes the entry `idx` at `point` from the subtree under `node`,
+/// re-tightening MBBs and pruning emptied children on the way back up.
+fn remove_rec(node: &mut Node, idx: usize, point: &Point3) -> bool {
+    match &mut node.content {
+        NodeContent::Leaf(entries) => {
+            let before = entries.len();
+            entries.retain(|(i, _)| *i != idx);
+            let removed = entries.len() < before;
+            if removed && !entries.is_empty() {
+                let points: Vec<Point3> = entries.iter().map(|(_, p)| *p).collect();
+                node.mbb = Aabb3::bounding(&points).expect("leaf is non-empty");
+            }
+            removed
+        }
+        NodeContent::Internal(children) => {
+            let mut removed = false;
+            for child in children.iter_mut() {
+                if child.mbb.contains(point, 1e-12) && remove_rec(child, idx, point) {
+                    removed = true;
+                    break;
+                }
+            }
+            if removed {
+                children.retain(|child| !is_empty_node(child));
+                for child in children.iter_mut() {
+                    lift_single_child(child);
+                }
+                if let Some(mbb) = children.iter().map(|c| c.mbb).reduce(|a, b| a.union(&b)) {
+                    node.mbb = mbb;
+                }
+            }
+            removed
+        }
+    }
+}
+
+fn is_empty_node(node: &Node) -> bool {
+    match &node.content {
+        NodeContent::Leaf(entries) => entries.is_empty(),
+        NodeContent::Internal(children) => children.is_empty(),
+    }
+}
+
+/// Replaces internal nodes holding exactly one child with that child,
+/// shrinking unnecessary height left behind by deletions.
+fn lift_single_child(node: &mut Node) {
+    while let NodeContent::Internal(children) = &mut node.content {
+        if children.len() == 1 {
+            *node = children.pop().expect("one child present");
+        } else {
+            break;
         }
     }
 }
@@ -360,7 +629,192 @@ mod tests {
         assert_eq!(tree.count_in_box(&q), 10);
     }
 
+    /// Asserts the structural invariants of the tree: every parent MBB
+    /// contains its children (points or child boxes), leaf fanout respects
+    /// the capacity bound, non-root nodes are non-empty, and `len()` equals
+    /// the number of live leaf entries.
+    fn assert_structural_invariants(tree: &RTree) {
+        let mut live_entries = 0;
+        tree.visit_nodes(|node, depth| match &node.content {
+            NodeContent::Leaf(entries) => {
+                assert!(
+                    entries.len() <= tree.node_capacity(),
+                    "leaf fanout {} exceeds capacity {}",
+                    entries.len(),
+                    tree.node_capacity()
+                );
+                assert!(depth == 0 || !entries.is_empty(), "non-root leaf is empty");
+                for (_, p) in entries {
+                    assert!(node.mbb.contains(p, 1e-12), "leaf MBB lost a point");
+                }
+                live_entries += entries.len();
+            }
+            NodeContent::Internal(children) => {
+                assert!(
+                    children.len() <= tree.node_capacity(),
+                    "internal fanout {} exceeds capacity {}",
+                    children.len(),
+                    tree.node_capacity()
+                );
+                assert!(!children.is_empty(), "internal node is empty");
+                for child in children {
+                    assert!(
+                        node.mbb.contains(&child.mbb.min, 1e-12)
+                            && node.mbb.contains(&child.mbb.max, 1e-12),
+                        "parent MBB does not contain child MBB"
+                    );
+                }
+            }
+        });
+        assert_eq!(tree.len(), live_entries, "len() diverged from live entries");
+    }
+
+    fn linear_report(live: &[(usize, Point3)], query: &Aabb3) -> Vec<usize> {
+        let mut out: Vec<usize> = live
+            .iter()
+            .filter(|(_, p)| query.contains(p, 0.0))
+            .map(|(i, _)| *i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn incremental_inserts_match_linear_scan_and_keep_invariants() {
+        let points = random_points(150, 21);
+        let mut tree = RTree::bulk_load_with_capacity(&[], 4);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i, *p);
+            assert_structural_invariants(&tree);
+        }
+        assert_eq!(tree.len(), points.len());
+        let q = Aabb3::new(Point3::new(0.2, 0.1, 0.3), Point3::new(0.9, 0.8, 0.7));
+        assert_eq!(tree.count_in_box(&q), linear_count(&points, &q));
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_entry_and_reports_misses() {
+        let points = random_points(40, 33);
+        let mut tree = RTree::bulk_load_with_capacity(&points, 3);
+        assert!(tree.remove(7, &points[7]));
+        assert_structural_invariants(&tree);
+        assert_eq!(tree.len(), 39);
+        // Removing the same index again (or an index never inserted) misses.
+        assert!(!tree.remove(7, &points[7]));
+        assert!(!tree.remove(999, &Point3::new(0.5, 0.5, 0.5)));
+        assert_eq!(tree.len(), 39);
+        let everything = Aabb3::anchored_at_origin(Point3::new(1.0, 1.0, 1.0));
+        let reported = tree.query_box(&everything);
+        assert_eq!(reported.len(), 39);
+        assert!(!reported.contains(&7));
+    }
+
+    #[test]
+    fn draining_a_tree_empties_it() {
+        let points = random_points(25, 44);
+        let mut tree = RTree::bulk_load_with_capacity(&points, 2);
+        for (i, p) in points.iter().enumerate() {
+            assert!(tree.remove(i, p), "entry {i} should be removable");
+            assert_structural_invariants(&tree);
+        }
+        assert!(tree.is_empty());
+        assert!(tree.root().is_none());
+        // The drained tree accepts fresh inserts.
+        tree.insert(0, points[0]);
+        assert_eq!(tree.len(), 1);
+        assert_structural_invariants(&tree);
+    }
+
+    #[test]
+    fn duplicate_points_split_evenly_and_keep_the_tree_shallow() {
+        // Identical points tie every split criterion; the minimum-fill rule
+        // and cardinality tie-break must still produce near-even splits, not
+        // (capacity, 1) slivers that degenerate the tree into a list.
+        let p = Point3::new(0.5, 0.5, 0.5);
+        let mut tree = RTree::bulk_load_with_capacity(&[], 4);
+        for i in 0..64 {
+            tree.insert(i, p);
+            assert_structural_invariants(&tree);
+        }
+        let mut max_depth = 0;
+        let mut min_leaf = usize::MAX;
+        tree.visit_nodes(|node, depth| {
+            max_depth = max_depth.max(depth);
+            if let NodeContent::Leaf(entries) = &node.content {
+                min_leaf = min_leaf.min(entries.len());
+            }
+        });
+        // A balanced capacity-4 tree over 64 entries is ~4 levels deep; the
+        // sliver-split pathology would exceed 16. Leaves must respect the
+        // ~40 % minimum fill produced by the split.
+        assert!(max_depth <= 8, "tree degenerated to depth {max_depth}");
+        assert!(min_leaf >= 2, "sliver leaf of {min_leaf} entries");
+        assert_eq!(
+            tree.query_box(&Aabb3::from_point(p)).len(),
+            64,
+            "all duplicates must stay reachable"
+        );
+    }
+
+    #[test]
+    fn bulk_load_entries_keeps_caller_indices() {
+        let points = random_points(30, 55);
+        let entries: Vec<(usize, Point3)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i * 10 + 3, *p))
+            .collect();
+        let tree = RTree::bulk_load_entries(entries.clone(), 4);
+        assert_structural_invariants(&tree);
+        let everything = Aabb3::anchored_at_origin(Point3::new(1.0, 1.0, 1.0));
+        let mut expected: Vec<usize> = entries.iter().map(|(i, _)| *i).collect();
+        expected.sort_unstable();
+        assert_eq!(tree.query_box(&everything), expected);
+    }
+
     proptest! {
+        // Satellite invariant suite: random interleavings of insert/remove
+        // must preserve the structural invariants and stay query-equivalent
+        // to a linear scan after EVERY mutation. The vendored proptest
+        // harness derives its RNG seed deterministically from the test name,
+        // so CI runs are reproducible.
+        #[test]
+        fn churned_tree_keeps_invariants_and_query_parity(
+            initial in proptest::collection::vec(
+                (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..40),
+            ops in proptest::collection::vec(
+                (0.0_f64..1.0, (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0)), 1..60),
+            capacity in 2_usize..8,
+        ) {
+            let mut live: Vec<(usize, Point3)> = initial
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, z))| (i, Point3::new(x, y, z)))
+                .collect();
+            let mut tree = RTree::bulk_load_entries(live.clone(), capacity);
+            let mut next_idx = live.len();
+            for &(selector, (x, y, z)) in &ops {
+                if selector < 0.55 || live.is_empty() {
+                    let p = Point3::new(x, y, z);
+                    tree.insert(next_idx, p);
+                    live.push((next_idx, p));
+                    next_idx += 1;
+                } else {
+                    let victim = ((x * live.len() as f64) as usize).min(live.len() - 1);
+                    let (idx, p) = live.swap_remove(victim);
+                    prop_assert!(tree.remove(idx, &p));
+                }
+                assert_structural_invariants(&tree);
+                prop_assert_eq!(tree.len(), live.len());
+                let query = Aabb3::anchored_at_origin(Point3::new(y, z, x));
+                prop_assert_eq!(tree.query_box(&query), linear_report(&live, &query));
+                prop_assert_eq!(
+                    tree.count_in_box(&query),
+                    linear_report(&live, &query).len()
+                );
+            }
+        }
+
         #[test]
         fn count_matches_linear_scan_for_random_boxes(
             raw in proptest::collection::vec((0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..120),

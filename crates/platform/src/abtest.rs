@@ -182,18 +182,22 @@ pub fn run_ab_test(task: TaskType, config: &AbTestConfig) -> AbTestResult {
         let guided_outcome = if let Some(rec) = outcome.satisfied.first() {
             // Among the k recommended strategies, deploy with the one whose
             // estimated quality is highest (the requester's natural choice).
+            // Recommendation indices are catalog slots — resolve them
+            // through the catalog so this keeps working once strategies are
+            // inserted or retired mid-experiment.
             let best = rec
                 .strategy_indices
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
-                    strategies[a]
+                    catalog
+                        .strategy(a)
                         .params
                         .quality
-                        .total_cmp(&strategies[b].params.quality)
+                        .total_cmp(&catalog.strategy(b).params.quality)
                 })
                 .expect("k >= 1");
-            executor.execute(&design, &strategies[best], availability, &mut rng)
+            executor.execute(&design, catalog.strategy(best), availability, &mut rng)
         } else {
             // No recommendation possible: the requester falls back to an
             // unguided deployment — StratRec offers no benefit here.

@@ -13,14 +13,20 @@
 //! * **Experiment scenarios** — the default parameter grids of Figures 14–18
 //!   (`|S| = 10 000`, `m = 10`, `k = 10`, `W = 0.5`, and the reduced
 //!   brute-force grids) ([`scenario`]).
+//! * **Churn scenarios** — epoch streams interleaving deployment batches
+//!   with strategy insert/retire, driving the mutable catalog's
+//!   log-structured overlay against the rebuild-per-epoch baseline
+//!   ([`churn`]).
 
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod model_gen;
 pub mod request_gen;
 pub mod scenario;
 pub mod strategy_gen;
 
+pub use churn::{ChurnEpoch, ChurnInstance, ChurnScenario};
 pub use model_gen::generate_models;
 pub use request_gen::generate_requests;
 pub use scenario::{AdparScenario, BatchScenario, ParameterDistribution};

@@ -93,7 +93,9 @@ fn main() {
     if let Some(rec) = report.batch.satisfied.first() {
         println!("StratRec recommends deploying the translation campaign with:");
         for &idx in &rec.strategy_indices {
-            let s = &strategies[idx];
+            // Recommendation indices are catalog slots; resolve them through
+            // the catalog rather than a parallel vector.
+            let s = catalog.strategy(idx);
             println!(
                 "  {}  (estimated quality {:.2}, cost {:.2}, latency {:.2})",
                 s.name(),

@@ -1,0 +1,114 @@
+//! Property-based churn parity: random interleavings of insert / retire /
+//! eligibility-query against a shadow linear scan.
+//!
+//! Reenactment-style replay: every generated op sequence is applied in
+//! lockstep to a shadow `Vec<(slot, Strategy)>` (ground truth, scanned
+//! linearly) and to catalogs running three rebuild policies — merge always
+//! (threshold 0), a small finite threshold, and never merge (∞). After
+//! **every** step the catalogs' indexed answers must be identical to the
+//! shadow's, so a divergence pins the exact churn prefix that caused it.
+//! The vendored proptest harness seeds its RNG deterministically from the
+//! test name, so CI replays the same sequences on every run
+//! (`PROPTEST_CASES=256` in the workflow).
+
+use proptest::prelude::*;
+use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec::core::model::{DeploymentParameters, Strategy};
+
+const POLICIES: [RebuildPolicy; 3] = [
+    RebuildPolicy::always(),
+    RebuildPolicy::threshold(4),
+    RebuildPolicy::never(),
+];
+
+/// The shadow's eligible slots for `probe`, ascending (the shadow list is
+/// kept in slot order).
+fn shadow_eligible(shadow: &[(usize, Strategy)], probe: &DeploymentParameters) -> Vec<usize> {
+    shadow
+        .iter()
+        .filter(|(_, s)| s.params.satisfies(probe))
+        .map(|(slot, _)| *slot)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn churn_parity_across_rebuild_thresholds(
+        initial in proptest::collection::vec(
+            (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..30),
+        ops in proptest::collection::vec(
+            (0.0_f64..1.0, (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0)), 1..70),
+    ) {
+        let seed: Vec<Strategy> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, c, l))| {
+                Strategy::from_params(i as u64, DeploymentParameters::clamped(q, c, l))
+            })
+            .collect();
+        let mut shadow: Vec<(usize, Strategy)> =
+            seed.iter().cloned().enumerate().collect();
+        let mut catalogs: Vec<StrategyCatalog> = POLICIES
+            .iter()
+            .map(|&policy| StrategyCatalog::with_policy(seed.clone(), policy))
+            .collect();
+        let mut next_id = seed.len() as u64;
+
+        for &(selector, (a, b, c)) in &ops {
+            // Decide the op: ~45 % insert, ~25 % retire, ~30 % pure query.
+            if selector < 0.45 {
+                let strategy =
+                    Strategy::from_params(next_id, DeploymentParameters::clamped(a, b, c));
+                next_id += 1;
+                let mut slots = Vec::new();
+                for catalog in &mut catalogs {
+                    slots.push(catalog.insert(strategy.clone()));
+                }
+                // Every policy allocates the same stable slot number.
+                prop_assert!(slots.windows(2).all(|w| w[0] == w[1]));
+                shadow.push((slots[0], strategy));
+            } else if selector < 0.70 && !shadow.is_empty() {
+                let victim = ((a * shadow.len() as f64) as usize).min(shadow.len() - 1);
+                let (slot, _) = shadow.remove(victim);
+                for catalog in &mut catalogs {
+                    prop_assert!(catalog.retire(slot), "slot {slot} should be live");
+                    prop_assert!(!catalog.retire(slot), "double retire must be a no-op");
+                }
+            }
+
+            // Parity check after EVERY step: the op's parameter triple
+            // doubles as the query probe, and a fixed loose probe catches
+            // regressions in the full live set.
+            let probes = [
+                DeploymentParameters::clamped(a, b, c),
+                DeploymentParameters::default(),
+            ];
+            for catalog in &catalogs {
+                prop_assert_eq!(catalog.len(), shadow.len());
+                for probe in &probes {
+                    let expected = shadow_eligible(&shadow, probe);
+                    prop_assert_eq!(
+                        catalog.eligible_for(probe),
+                        expected,
+                        "policy {:?}",
+                        catalog.rebuild_policy()
+                    );
+                }
+            }
+            // The always-policy may never accumulate an overlay.
+            prop_assert!(catalogs[0].overlay_is_empty());
+        }
+
+        // Epilogue: merging / rebuilding the lagging catalogs changes nothing.
+        let final_probe = DeploymentParameters::default();
+        let expected = shadow_eligible(&shadow, &final_probe);
+        for catalog in &mut catalogs {
+            catalog.merge_overlay();
+            prop_assert!(catalog.overlay_is_empty());
+            prop_assert_eq!(catalog.eligible_for(&final_probe), expected.clone());
+            catalog.force_rebuild();
+            prop_assert_eq!(catalog.eligible_for(&final_probe), expected.clone());
+            prop_assert_eq!(catalog.index().len(), shadow.len());
+        }
+    }
+}

@@ -8,7 +8,7 @@ use stratrec::core::adpar::{
 };
 use stratrec::core::availability::AvailabilityPdf;
 use stratrec::core::batch::{BatchObjective, BatchStrat};
-use stratrec::core::catalog::StrategyCatalog;
+use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
 use stratrec::core::model::{DeploymentRequest, Strategy};
 use stratrec::core::modeling::ModelLibrary;
 use stratrec::core::prelude::*;
@@ -183,6 +183,92 @@ fn adpar_solutions_match_for_all_four_solvers() {
             custom.solve(&indexed_problem).unwrap(),
             "seed {seed}, custom node capacity"
         );
+    }
+}
+
+#[test]
+fn adpar_parity_survives_catalog_churn() {
+    // Post-churn parity: mutate the running-example catalog (insert two
+    // strategies, retire one original slot), then re-run the four-solver
+    // parity check against a plain problem over the compacted live set. The
+    // catalog problem reports stable slot indices; mapping them through the
+    // live slot order must reproduce the compact solution exactly. This also
+    // pins epoch invalidation: relaxations are recomputed at the catalog's
+    // current epoch, so the retired slot is sentinel-masked out.
+    use stratrec::core::model::DeploymentParameters;
+
+    for policy in [
+        RebuildPolicy::always(),
+        RebuildPolicy::threshold(2),
+        RebuildPolicy::never(),
+    ] {
+        let strategies = stratrec::core::examples_data::running_example_strategies();
+        let requests = stratrec::core::examples_data::running_example_requests();
+        let mut catalog = StrategyCatalog::with_policy(strategies, policy);
+        assert!(catalog.is_pristine());
+        catalog.insert(stratrec::core::model::Strategy::from_params(
+            10,
+            DeploymentParameters::clamped(0.9, 0.45, 0.2),
+        ));
+        catalog.insert(stratrec::core::model::Strategy::from_params(
+            11,
+            DeploymentParameters::clamped(0.6, 0.15, 0.35),
+        ));
+        assert!(catalog.retire(0)); // retire s1
+        assert_eq!(catalog.epoch(), 3);
+        assert!(!catalog.is_pristine());
+
+        let live_slots = catalog.live_indices();
+        let compact: Vec<Strategy> = live_slots
+            .iter()
+            .map(|&slot| catalog.strategy(slot).clone())
+            .collect();
+        assert_eq!(compact.len(), 5);
+
+        let solvers: [&dyn AdparSolver; 4] = [
+            &AdparExact,
+            &AdparBruteForce,
+            &AdparBaseline2,
+            &AdparBaseline3::default(),
+        ];
+        let check_parity = |catalog: &StrategyCatalog, stage: &str| {
+            for request in &requests {
+                let scan_problem = AdparProblem::new(request, &compact, 3);
+                let indexed_problem = AdparProblem::with_catalog(request, catalog, 3);
+                assert_eq!(indexed_problem.catalog_epoch(), catalog.epoch());
+                assert_eq!(indexed_problem.available_strategies(), compact.len());
+                for solver in solvers {
+                    let scan = solver.solve(&scan_problem).unwrap();
+                    let indexed = solver.solve(&indexed_problem).unwrap();
+                    let context = format!(
+                        "{policy:?}, {stage}, solver {}, request {:?}",
+                        solver.name(),
+                        request.id
+                    );
+                    assert_eq!(scan.alternative, indexed.alternative, "{context}");
+                    assert_eq!(scan.relaxation, indexed.relaxation, "{context}");
+                    assert!(
+                        (scan.distance - indexed.distance).abs() < 1e-12,
+                        "{context}"
+                    );
+                    let mapped: Vec<usize> = scan
+                        .strategy_indices
+                        .iter()
+                        .map(|&compact_idx| live_slots[compact_idx])
+                        .collect();
+                    assert_eq!(mapped, indexed.strategy_indices, "{context}");
+                    // The retired slot can never be recommended.
+                    assert!(!indexed.strategy_indices.contains(&0), "{context}");
+                }
+            }
+        };
+        check_parity(&catalog, "post-churn");
+
+        // Re-packing restores the shared-index fast path for Baseline3
+        // without changing any solver's answer.
+        catalog.force_rebuild();
+        assert!(catalog.index_is_packed_live());
+        check_parity(&catalog, "post-force_rebuild");
     }
 }
 
