@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use stratrec_core::adpar::{AdparBaseline2, AdparBaseline3, AdparExact, AdparProblem, AdparSolver};
+use stratrec_core::adpar::{
+    AdparBaseline2, AdparBaseline3, AdparExact, AdparProblem, AdparSolver, SolveScratch,
+};
 use stratrec_workload::scenario::AdparScenario;
 
 fn bench_exact_vs_strategy_count(c: &mut Criterion) {
@@ -20,6 +22,20 @@ fn bench_exact_vs_strategy_count(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
             let problem = AdparProblem::new(&instance.request, &instance.strategies, instance.k);
             b.iter(|| black_box(AdparExact.solve(black_box(&problem)).expect("|S| >= k")));
+        });
+        // Catalog-backed problems sweep the catalog's pre-sorted axis
+        // orders through a reused scratch: no per-problem sort at all.
+        let catalog = instance.catalog();
+        group.bench_with_input(BenchmarkId::new("catalog", s), &s, |b, _| {
+            let problem = AdparProblem::with_catalog(&instance.request, &catalog, instance.k);
+            let mut scratch = SolveScratch::new();
+            b.iter(|| {
+                black_box(
+                    AdparExact
+                        .solve_with_scratch(black_box(&problem), &mut scratch)
+                        .expect("|S| >= k"),
+                )
+            });
         });
     }
     group.finish();

@@ -12,10 +12,27 @@
 //! latency is exactly the cheapest latency relaxation completing a feasible
 //! triple, so every candidate triple the optimum could use is examined, with
 //! monotone pruning on the accumulated squared distance.
+//!
+//! # Catalog-resident orders and zero-allocation batch solving
+//!
+//! The sweep needs the strategies in ascending quality- and cost-relaxation
+//! order. Those orders are obtained through
+//! [`AdparProblem::axis_order_into`]: catalog-backed problems **walk the
+//! catalog's pre-sorted axis permutations** (relaxation is monotone in the
+//! normalized coordinate) instead of sorting per problem, and the cost order
+//! is computed **once** per solve — strategies admitted by the current
+//! quality prefix are selected with an admission bitmask while walking it,
+//! replacing the seed's per-quality-candidate `clone() + sort`
+//! (`O(Q·|S| log |S|)` per problem) with `O(Q·|S| log k)` heap maintenance.
+//! All of the solver's working memory lives in a reusable [`SolveScratch`]
+//! — and the problem's relaxation buffer is reusable too
+//! ([`AdparProblem::with_catalog_reusing`]) — so a batch fan-out driving
+//! [`AdparExact::solve_with_scratch`] allocates nothing per problem in
+//! steady state beyond the returned solution.
 
 use std::collections::BinaryHeap;
 
-use stratrec_geometry::Point3;
+use stratrec_geometry::{Axis, Point3};
 
 use crate::adpar::{AdparProblem, AdparSolution, AdparSolver};
 use crate::error::StratRecError;
@@ -24,28 +41,83 @@ use crate::error::StratRecError;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdparExact;
 
-impl AdparSolver for AdparExact {
-    fn solve(&self, problem: &AdparProblem<'_>) -> Result<AdparSolution, StratRecError> {
+/// Reusable working memory for [`AdparExact`]: axis orders, candidate
+/// values, the admission bitmask and the bounded latency heap.
+///
+/// A fresh scratch is equivalent to a reused one — every buffer is cleared
+/// and refilled per solve — so batch drivers keep one scratch per worker
+/// thread and solve thousands of problems without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// Strategies in ascending quality-relaxation order.
+    by_quality: Vec<usize>,
+    /// Strategies in ascending cost-relaxation order (computed once per
+    /// solve; the seed re-sorted the admitted set per quality candidate).
+    by_cost: Vec<usize>,
+    /// Candidate quality relaxation values, ascending and deduplicated.
+    quality_candidates: Vec<f64>,
+    /// Candidate cost relaxation values, ascending and deduplicated.
+    cost_candidates: Vec<f64>,
+    /// Whether each strategy is admitted by the current quality prefix.
+    admitted: Vec<bool>,
+    /// Bounded max-heap holding the `k` smallest latency relaxations of the
+    /// admitted strategies in the current (quality, cost) prefix.
+    heap: BinaryHeap<OrdF64>,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch; buffers grow to the problem size on first
+    /// use and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AdparExact {
+    /// [`AdparSolver::solve`] with caller-provided scratch buffers, for
+    /// batch drivers that solve many problems back to back. The solution is
+    /// identical to [`AdparSolver::solve`] regardless of the scratch's
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::ZeroCardinality`] when `k = 0` and
+    /// [`StratRecError::NotEnoughStrategies`] when fewer than `k` live
+    /// strategies exist.
+    pub fn solve_with_scratch(
+        &self,
+        problem: &AdparProblem<'_>,
+        scratch: &mut SolveScratch,
+    ) -> Result<AdparSolution, StratRecError> {
         problem.validate()?;
         let relaxations = problem.relaxations();
         let k = problem.k;
 
-        // Candidate relaxation values per axis: zero plus every strategy's
-        // requirement, deduplicated and sorted ascending.
-        let quality_candidates = candidate_values(relaxations.iter().map(|r| r.x));
-        let cost_candidates = candidate_values(relaxations.iter().map(|r| r.y));
+        // Sweep orders: catalog-resident (no sort) or sorted once here.
+        problem.axis_order_into(Axis::X, &mut scratch.by_quality);
+        problem.axis_order_into(Axis::Y, &mut scratch.by_cost);
 
-        // Strategies sorted by quality relaxation so the outer sweep can
-        // admit them incrementally.
-        let mut by_quality: Vec<usize> = (0..relaxations.len()).collect();
-        by_quality.sort_by(|&a, &b| relaxations[a].x.total_cmp(&relaxations[b].x));
+        // Candidate relaxation values per axis: zero plus every strategy's
+        // requirement. The axis orders already yield them ascending, so
+        // deduplication is a single linear pass.
+        fill_candidate_values(
+            &mut scratch.quality_candidates,
+            scratch.by_quality.iter().map(|&i| relaxations[i].x),
+        );
+        fill_candidate_values(
+            &mut scratch.cost_candidates,
+            scratch.by_cost.iter().map(|&i| relaxations[i].y),
+        );
+
+        scratch.admitted.clear();
+        scratch.admitted.resize(relaxations.len(), false);
 
         let mut best: Option<(f64, Point3)> = None;
+        let mut admitted_count = 0_usize;
+        let mut quality_cursor = 0_usize;
 
-        let mut admitted_by_quality: Vec<usize> = Vec::with_capacity(relaxations.len());
-        let mut quality_cursor = 0;
-
-        for &rq in &quality_candidates {
+        for &rq in &scratch.quality_candidates {
             let rq_sq = rq * rq;
             if let Some((best_sq, _)) = best {
                 if rq_sq >= best_sq {
@@ -53,50 +125,53 @@ impl AdparSolver for AdparExact {
                 }
             }
             // Admit every strategy whose quality relaxation is ≤ rq.
-            while quality_cursor < by_quality.len()
-                && relaxations[by_quality[quality_cursor]].x <= rq + 1e-12
+            while quality_cursor < scratch.by_quality.len()
+                && relaxations[scratch.by_quality[quality_cursor]].x <= rq + 1e-12
             {
-                admitted_by_quality.push(by_quality[quality_cursor]);
+                scratch.admitted[scratch.by_quality[quality_cursor]] = true;
+                admitted_count += 1;
                 quality_cursor += 1;
             }
-            if admitted_by_quality.len() < k {
+            if admitted_count < k {
                 continue;
             }
 
-            // Inner sweep over cost: admit strategies in ascending cost
-            // relaxation, maintaining the k smallest latency relaxations.
-            let mut by_cost: Vec<usize> = admitted_by_quality.clone();
-            by_cost.sort_by(|&a, &b| relaxations[a].y.total_cmp(&relaxations[b].y));
-            // Bounded max-heap holding the k smallest latency relaxations of
-            // the strategies admitted so far; its top is the k-th smallest.
-            let mut max_heap: BinaryHeap<OrdF64> = BinaryHeap::with_capacity(k + 1);
-            let mut cost_cursor = 0;
+            // Inner sweep over cost: walk the precomputed cost order,
+            // keeping the k smallest latency relaxations of the admitted
+            // strategies in a bounded max-heap (its top is the k-th
+            // smallest).
+            scratch.heap.clear();
+            let mut cost_cursor = 0_usize;
 
-            for &rc in &cost_candidates {
+            for &rc in &scratch.cost_candidates {
                 let prefix_sq = rq_sq + rc * rc;
                 if let Some((best_sq, _)) = best {
                     if prefix_sq >= best_sq {
                         break;
                     }
                 }
-                while cost_cursor < by_cost.len()
-                    && relaxations[by_cost[cost_cursor]].y <= rc + 1e-12
+                while cost_cursor < scratch.by_cost.len()
+                    && relaxations[scratch.by_cost[cost_cursor]].y <= rc + 1e-12
                 {
-                    let rl = relaxations[by_cost[cost_cursor]].z;
-                    if max_heap.len() < k {
-                        max_heap.push(OrdF64(rl));
-                    } else if let Some(&OrdF64(worst)) = max_heap.peek() {
-                        if rl < worst {
-                            max_heap.pop();
-                            max_heap.push(OrdF64(rl));
+                    let idx = scratch.by_cost[cost_cursor];
+                    if scratch.admitted[idx] {
+                        let rl = relaxations[idx].z;
+                        if scratch.heap.len() < k {
+                            scratch.heap.push(OrdF64(rl));
+                        } else if let Some(&OrdF64(worst)) = scratch.heap.peek() {
+                            if rl < worst {
+                                scratch.heap.pop();
+                                scratch.heap.push(OrdF64(rl));
+                            }
                         }
                     }
                     cost_cursor += 1;
                 }
-                if max_heap.len() < k {
+                if scratch.heap.len() < k {
                     continue;
                 }
-                let rl = max_heap
+                let rl = scratch
+                    .heap
                     .peek()
                     .expect("heap holds exactly k elements here")
                     .0;
@@ -117,23 +192,40 @@ impl AdparSolver for AdparExact {
         );
         Ok(AdparSolution::from_relaxation(problem, relaxation))
     }
+}
+
+impl AdparSolver for AdparExact {
+    fn solve(&self, problem: &AdparProblem<'_>) -> Result<AdparSolution, StratRecError> {
+        self.solve_with_scratch(problem, &mut SolveScratch::new())
+    }
 
     fn name(&self) -> &'static str {
         "ADPaR-Exact"
     }
 }
 
-/// Sorted, deduplicated candidate relaxation values for one axis, always
-/// including zero (no relaxation). Non-finite values — the retired-slot
-/// sentinel of catalog-backed problems — are discarded: a retired strategy
-/// can never sit on an optimal boundary.
-fn candidate_values(values: impl Iterator<Item = f64>) -> Vec<f64> {
-    let mut candidates: Vec<f64> = std::iter::once(0.0)
-        .chain(values.filter(|v| v.is_finite()))
-        .collect();
-    candidates.sort_by(f64::total_cmp);
-    candidates.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
-    candidates
+/// Fills `out` with the candidate relaxation values for one axis: zero (no
+/// relaxation) followed by every strategy's requirement, deduplicated with a
+/// `1e-12` tolerance in one pass.
+///
+/// `values` must arrive ascending (the axis orders guarantee it), which
+/// makes the dedup a simple "keep when strictly above the last kept value"
+/// scan — a value of exactly `0.0` (a strategy already satisfying the axis)
+/// collapses into the leading zero by the same rule, rather than relying on
+/// the ordering quirks of an epsilon `dedup_by`. Non-finite values — the
+/// retired-slot sentinel of catalog-backed problems — are discarded: a
+/// retired strategy can never sit on an optimal boundary.
+fn fill_candidate_values(out: &mut Vec<f64>, values: impl Iterator<Item = f64>) {
+    out.clear();
+    out.push(0.0);
+    let mut last = 0.0_f64;
+    for v in values {
+        debug_assert!(v.is_nan() || v >= 0.0, "relaxations are non-negative");
+        if v.is_finite() && v > last + 1e-12 {
+            out.push(v);
+            last = v;
+        }
+    }
 }
 
 /// Total-ordered f64 wrapper for the latency heap.
@@ -157,6 +249,7 @@ impl Ord for OrdF64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::StrategyCatalog;
     use crate::model::{DeploymentParameters, DeploymentRequest, Strategy, TaskType};
 
     fn request(q: f64, c: f64, l: f64) -> DeploymentRequest {
@@ -283,5 +376,72 @@ mod tests {
     #[test]
     fn solver_reports_its_name() {
         assert_eq!(AdparExact.name(), "ADPaR-Exact");
+    }
+
+    #[test]
+    fn candidate_values_dedup_zero_and_near_zero_in_one_pass() {
+        let mut out = Vec::new();
+        // An exact-zero relaxation (strategy already satisfying the axis)
+        // must collapse into the leading zero, and near-zero values within
+        // the 1e-12 tolerance must vanish with it — no dependence on which
+        // element an epsilon dedup_by happens to keep.
+        fill_candidate_values(
+            &mut out,
+            [0.0, 0.0, 5e-13, 0.3, 0.3 + 5e-13, 0.7].into_iter(),
+        );
+        assert_eq!(out, vec![0.0, 0.3, 0.7]);
+
+        // Values just outside the tolerance survive.
+        fill_candidate_values(&mut out, [2e-12, 0.5].into_iter());
+        assert_eq!(out, vec![0.0, 2e-12, 0.5]);
+
+        // Chained near-duplicates dedup against the last *kept* value.
+        fill_candidate_values(&mut out, [0.1, 0.1 + 8e-13, 0.1 + 2e-12].into_iter());
+        assert_eq!(out, vec![0.0, 0.1, 0.1 + 2e-12]);
+
+        // The retired-slot sentinel is discarded wherever it appears.
+        fill_candidate_values(&mut out, [0.2, f64::INFINITY].into_iter());
+        assert_eq!(out, vec![0.0, 0.2]);
+
+        // No strategies: the zero candidate alone remains.
+        fill_candidate_values(&mut out, std::iter::empty());
+        assert_eq!(out, vec![0.0]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // Solving different problems through one scratch must give the same
+        // solutions as fresh scratches (and as the plain trait entry point).
+        let mut scratch = SolveScratch::new();
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        for request in &requests {
+            let problem = AdparProblem::new(request, &strategies, 3);
+            let reused = AdparExact
+                .solve_with_scratch(&problem, &mut scratch)
+                .unwrap();
+            let fresh = AdparExact.solve(&problem).unwrap();
+            assert_eq!(reused, fresh, "request {:?}", request.id);
+        }
+    }
+
+    #[test]
+    fn catalog_problems_solve_identically_to_plain_problems() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let requests = crate::examples_data::running_example_requests();
+        let catalog = StrategyCatalog::from_slice(&strategies);
+        let mut scratch = SolveScratch::new();
+        for request in &requests {
+            let plain = AdparProblem::new(request, &strategies, 3);
+            let indexed = AdparProblem::with_catalog(request, &catalog, 3);
+            let expected = AdparExact.solve(&plain).unwrap();
+            assert_eq!(AdparExact.solve(&indexed).unwrap(), expected);
+            assert_eq!(
+                AdparExact
+                    .solve_with_scratch(&indexed, &mut scratch)
+                    .unwrap(),
+                expected
+            );
+        }
     }
 }

@@ -25,10 +25,10 @@ pub mod trace;
 pub use baseline2::AdparBaseline2;
 pub use baseline3::AdparBaseline3;
 pub use brute::AdparBruteForce;
-pub use exact::AdparExact;
+pub use exact::{AdparExact, SolveScratch};
 
 use serde::{Deserialize, Serialize};
-use stratrec_geometry::Point3;
+use stratrec_geometry::{Axis, Point3};
 
 use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
@@ -104,19 +104,31 @@ impl<'a> AdparProblem<'a> {
         catalog: &'a StrategyCatalog,
         k: usize,
     ) -> Self {
+        Self::with_catalog_reusing(request, catalog, k, Vec::new())
+    }
+
+    /// [`Self::with_catalog`] filling a caller-provided relaxation buffer
+    /// (cleared first) instead of allocating one, so batch drivers that
+    /// solve problems back to back — recover the buffer with
+    /// [`Self::into_relaxations`] — allocate the `O(slot_count)` vector
+    /// once per worker rather than once per problem.
+    #[must_use]
+    pub fn with_catalog_reusing(
+        request: &'a DeploymentRequest,
+        catalog: &'a StrategyCatalog,
+        k: usize,
+        mut relaxations: Vec<Point3>,
+    ) -> Self {
         let strategies = catalog.strategies();
         let d = &request.params;
-        let relaxations = strategies
-            .iter()
-            .enumerate()
-            .map(|(slot, s)| {
-                if catalog.is_live(slot) {
-                    relaxation_of(&s.params, d)
-                } else {
-                    retired_relaxation()
-                }
-            })
-            .collect();
+        relaxations.clear();
+        relaxations.extend(strategies.iter().enumerate().map(|(slot, s)| {
+            if catalog.is_live(slot) {
+                relaxation_of(&s.params, d)
+            } else {
+                retired_relaxation()
+            }
+        }));
         Self {
             request,
             strategies,
@@ -125,6 +137,13 @@ impl<'a> AdparProblem<'a> {
             catalog: Some(catalog),
             catalog_epoch: catalog.epoch(),
         }
+    }
+
+    /// Consumes the problem, returning its relaxation buffer for reuse in
+    /// [`Self::with_catalog_reusing`].
+    #[must_use]
+    pub fn into_relaxations(self) -> Vec<Point3> {
+        self.relaxations
     }
 
     /// The shared catalog this problem was built from, if any.
@@ -195,6 +214,34 @@ impl<'a> AdparProblem<'a> {
             d.cost + relaxation.y,
             d.latency + relaxation.z,
         )
+    }
+
+    /// Writes into `out` the strategy indices a sweep may ever admit, in
+    /// ascending order of their relaxation on `axis` (ties broken
+    /// deterministically).
+    ///
+    /// Catalog-backed problems **walk the catalog's pre-sorted axis order**
+    /// instead of sorting: the relaxation `max(0, coord − threshold)` is
+    /// monotone in the normalized coordinate, so the catalog's
+    /// coordinate-ascending live order is a relaxation-ascending order of
+    /// exactly the admissible (live) slots — the zero-clamped prefix only
+    /// collapses distinct coordinates into ties, which sweeps are
+    /// insensitive to. Plain-slice problems fall back to an `O(|S| log
+    /// |S|)` sort; retired-slot sentinels (infinite relaxations) sort last
+    /// there and are never admitted by a finite sweep position.
+    pub fn axis_order_into(&self, axis: Axis, out: &mut Vec<usize>) {
+        if let Some(catalog) = self.catalog {
+            catalog.axis_order_into(axis, out);
+            return;
+        }
+        out.clear();
+        out.extend(0..self.relaxations.len());
+        out.sort_unstable_by(|&a, &b| {
+            self.relaxations[a]
+                .coord(axis)
+                .total_cmp(&self.relaxations[b].coord(axis))
+                .then(a.cmp(&b))
+        });
     }
 
     /// Indices of the strategies covered by a relaxation vector (those whose

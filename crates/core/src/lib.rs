@@ -58,6 +58,7 @@ pub mod adpar;
 pub mod availability;
 pub mod batch;
 pub mod catalog;
+pub mod engine;
 pub mod error;
 pub mod examples_data;
 pub mod model;
@@ -69,13 +70,14 @@ pub mod workforce;
 pub mod prelude {
     pub use crate::adpar::{
         AdparBaseline2, AdparBaseline3, AdparBruteForce, AdparExact, AdparProblem, AdparSolution,
-        AdparSolver,
+        AdparSolver, SolveScratch,
     };
     pub use crate::availability::{AvailabilityPdf, WorkerAvailability};
     pub use crate::batch::{
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
     pub use crate::catalog::{RebuildPolicy, StrategyCatalog};
+    pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;
     pub use crate::model::{
         DeploymentParameters, DeploymentRequest, Organization, RequestId, Strategy, StrategyId,

@@ -7,18 +7,21 @@
 //! which recommends the closest alternative deployment parameters for which
 //! `k` strategies exist.
 //!
-//! Both stages run over a shared [`StrategyCatalog`]: eligibility is an
-//! R-tree box query instead of an `O(|S|)` scan per request, and the
-//! independent ADPaR problems of a batch are solved in parallel on scoped
-//! threads rather than one by one. Outputs are identical to the sequential
-//! scan pipeline (see `tests/catalog_parity.rs`).
+//! Both stages run over a shared [`StrategyCatalog`] and execute on a
+//! [`BatchEngine`]: eligibility is an R-tree box query instead of an
+//! `O(|S|)` scan per request, the workforce-matrix rows are sharded across
+//! a scoped thread pool, and the independent ADPaR problems of a batch fan
+//! out in parallel with one reusable solver scratch per worker. Outputs are
+//! identical to the sequential scan pipeline (see
+//! `tests/catalog_parity.rs`).
 
 use serde::{Deserialize, Serialize};
 
-use crate::adpar::{AdparExact, AdparProblem, AdparSolution, AdparSolver};
+use crate::adpar::AdparSolution;
 use crate::availability::{AvailabilityPdf, WorkerAvailability};
 use crate::batch::{BatchObjective, BatchOutcome, BatchStrat};
 use crate::catalog::StrategyCatalog;
+use crate::engine::BatchEngine;
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
 use crate::modeling::ModelLibrary;
@@ -87,13 +90,28 @@ impl StratRecReport {
 pub struct StratRec {
     /// Middle-layer configuration.
     pub config: StratRecConfig,
+    /// Batch executor sharding workforce-matrix rows and ADPaR solves
+    /// across scoped threads (defaults to one worker per core).
+    pub engine: BatchEngine,
 }
 
 impl StratRec {
-    /// Creates a middle layer with the given configuration.
+    /// Creates a middle layer with the given configuration and the default
+    /// one-worker-per-core [`BatchEngine`].
     #[must_use]
     pub fn new(config: StratRecConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            engine: BatchEngine::new(),
+        }
+    }
+
+    /// Replaces the batch engine (e.g. [`BatchEngine::sequential`] for
+    /// differential testing or a thread cap for co-tenanted services).
+    #[must_use]
+    pub fn with_engine(mut self, engine: BatchEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Processes a batch of deployment requests: estimates availability from
@@ -119,12 +137,13 @@ impl StratRec {
         self.process_batch_with_catalog(requests, &catalog, models, availability)
     }
 
-    /// Processes a batch over a shared, pre-indexed [`StrategyCatalog`]:
-    /// the Aggregator answers eligibility through the catalog's R-tree and
-    /// the unsatisfied requests fan out to ADPaR in parallel (scoped
-    /// threads, one chunk per available core). Results are identical to the
-    /// sequential scan pipeline and deterministic regardless of thread
-    /// count.
+    /// Processes a batch over a shared, pre-indexed [`StrategyCatalog`] on
+    /// the configured [`BatchEngine`]: the Aggregator answers eligibility
+    /// through the catalog's R-tree with the workforce-matrix rows sharded
+    /// across scoped threads, and the unsatisfied requests fan out to ADPaR
+    /// in parallel with one reusable solver scratch per worker. Results are
+    /// identical to the sequential scan pipeline and deterministic
+    /// regardless of thread count.
     ///
     /// # Errors
     ///
@@ -138,60 +157,28 @@ impl StratRec {
         availability: &AvailabilityPdf,
     ) -> Result<StratRecReport, StratRecError> {
         let expected = availability.expectation();
-        let engine = BatchStrat::new(self.config.objective, self.config.aggregation);
-        let batch =
-            engine.recommend_with_catalog(requests, catalog, models, self.config.k, expected)?;
-        let alternatives = self.recommend_alternatives(requests, catalog, &batch.unsatisfied);
+        let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
+        let matrix =
+            self.engine
+                .workforce_matrix(requests, catalog, models, aggregator.eligibility)?;
+        let batch = aggregator.recommend_from_matrix(requests, &matrix, self.config.k, expected);
+        let solutions =
+            self.engine
+                .solve_adpar_batch(requests, catalog, &batch.unsatisfied, self.config.k);
+        let alternatives = batch
+            .unsatisfied
+            .iter()
+            .zip(solutions)
+            .map(|(&request_index, solution)| AlternativeRecommendation {
+                request_index,
+                solution,
+            })
+            .collect();
         Ok(StratRecReport {
             availability: expected,
             batch,
             alternatives,
         })
-    }
-
-    /// Solves one ADPaR problem per unsatisfied request over the shared
-    /// catalog, in parallel when the fan-out is wide enough to pay for
-    /// thread spawns. Each thread owns a disjoint chunk of the result
-    /// vector, so the output order matches `unsatisfied` exactly.
-    fn recommend_alternatives(
-        &self,
-        requests: &[DeploymentRequest],
-        catalog: &StrategyCatalog,
-        unsatisfied: &[usize],
-    ) -> Vec<AlternativeRecommendation> {
-        let k = self.config.k;
-        let solve_one = |idx: usize| AlternativeRecommendation {
-            request_index: idx,
-            solution: AdparExact.solve(&AdparProblem::with_catalog(&requests[idx], catalog, k)),
-        };
-
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(unsatisfied.len());
-        if threads < 2 {
-            return unsatisfied.iter().map(|&idx| solve_one(idx)).collect();
-        }
-
-        let chunk_size = unsatisfied.len().div_ceil(threads);
-        let mut results: Vec<Option<AlternativeRecommendation>> = vec![None; unsatisfied.len()];
-        let solve_one = &solve_one;
-        std::thread::scope(|scope| {
-            for (indices, slots) in unsatisfied
-                .chunks(chunk_size)
-                .zip(results.chunks_mut(chunk_size))
-            {
-                scope.spawn(move || {
-                    for (slot, &idx) in slots.iter_mut().zip(indices) {
-                        *slot = Some(solve_one(idx));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every chunk slot is filled by its thread"))
-            .collect()
     }
 }
 

@@ -10,7 +10,7 @@
 //! (*max-case*: only one of the `k` will be run).
 
 use serde::{Deserialize, Serialize};
-use stratrec_optim::topk;
+use stratrec_optim::topk::{self, TopKScratch};
 
 use crate::catalog::StrategyCatalog;
 use crate::error::StratRecError;
@@ -157,39 +157,11 @@ impl WorkforceMatrix {
                 cells: Vec::new(),
             });
         }
-        // Hoist the per-cell model lookups of the scan path into one
-        // id-indexed pass; this also enforces the missing-model contract.
-        // Retired slots keep a `None` placeholder: their model may have been
-        // dropped from the library along with the strategy.
-        let strategy_models: Vec<Option<&StrategyModel>> = strategies
-            .iter()
-            .enumerate()
-            .map(|(slot, s)| {
-                if catalog.is_live(slot) {
-                    models.require(s.id).map(Some)
-                } else {
-                    Ok(None)
-                }
-            })
-            .collect::<Result<_, _>>()?;
+        let strategy_models = collect_live_models(catalog, models)?;
         let cols = strategies.len();
         let mut cells = vec![f64::INFINITY; requests.len() * cols];
         for (request, row) in requests.iter().zip(cells.chunks_mut(cols.max(1))) {
-            match rule {
-                EligibilityRule::StrategyParameters => {
-                    for j in catalog.eligible_for(&request.params) {
-                        let model = strategy_models[j].expect("eligible slots are live");
-                        row[j] = model.required_workforce(&request.params);
-                    }
-                }
-                EligibilityRule::ModelOnly => {
-                    for (cell, model) in row.iter_mut().zip(&strategy_models) {
-                        if let Some(model) = model {
-                            *cell = model.required_workforce(&request.params);
-                        }
-                    }
-                }
-            }
+            fill_catalog_row(request, catalog, &strategy_models, rule, row);
         }
         Ok(Self {
             rows: requests.len(),
@@ -240,30 +212,88 @@ impl WorkforceMatrix {
     /// Requests with fewer than `k` feasible strategies yield `None`: no
     /// amount of workforce lets the platform recommend `k` strategies, so the
     /// request must go to ADPaR.
+    ///
+    /// The selection heap and index buffer are reused across all `m` rows
+    /// (`topk::k_smallest_indices_into`); the only per-row allocation left
+    /// is the `strategy_indices` vector handed to the caller, and rows with
+    /// fewer than `k` feasible strategies allocate nothing at all.
     #[must_use]
     pub fn aggregate(&self, k: usize, mode: AggregationMode) -> Vec<Option<RequestRequirement>> {
+        let mut scratch = TopKScratch::new();
+        let mut selected: Vec<usize> = Vec::new();
         (0..self.rows)
             .map(|i| {
                 let row = self.row(i);
-                let strategy_indices = topk::k_smallest_indices(row, k);
-                if strategy_indices.len() < k || k == 0 {
+                topk::k_smallest_indices_into(row, k, &mut scratch, &mut selected);
+                if selected.len() < k || k == 0 {
                     return None;
                 }
                 let workforce = match mode {
-                    AggregationMode::Sum => strategy_indices.iter().map(|&j| row[j]).sum(),
+                    AggregationMode::Sum => selected.iter().map(|&j| row[j]).sum(),
                     AggregationMode::Max => {
-                        row[*strategy_indices
+                        row[*selected
                             .last()
                             .expect("k >= 1 so the selection is non-empty")]
                     }
                 };
                 Some(RequestRequirement {
                     request_index: i,
-                    strategy_indices,
+                    strategy_indices: selected.clone(),
                     workforce,
                 })
             })
             .collect()
+    }
+}
+
+/// Hoists the per-cell model lookups of the scan path into one id-indexed
+/// pass; this also enforces the missing-model contract for every **live**
+/// slot. Retired slots keep a `None` placeholder: their model may have been
+/// dropped from the library along with the strategy.
+pub(crate) fn collect_live_models<'m>(
+    catalog: &StrategyCatalog,
+    models: &'m ModelLibrary,
+) -> Result<Vec<Option<&'m StrategyModel>>, StratRecError> {
+    catalog
+        .strategies()
+        .iter()
+        .enumerate()
+        .map(|(slot, s)| {
+            if catalog.is_live(slot) {
+                models.require(s.id).map(Some)
+            } else {
+                Ok(None)
+            }
+        })
+        .collect()
+}
+
+/// Fills one workforce-matrix row (pre-initialized to `f64::INFINITY`) for
+/// `request`: the unit of work sharded across threads by
+/// [`crate::engine::BatchEngine`] and run in a plain loop by
+/// [`WorkforceMatrix::compute_with_catalog`]. `strategy_models` comes from
+/// [`collect_live_models`] and is parallel to the catalog slots.
+pub(crate) fn fill_catalog_row(
+    request: &DeploymentRequest,
+    catalog: &StrategyCatalog,
+    strategy_models: &[Option<&StrategyModel>],
+    rule: EligibilityRule,
+    row: &mut [f64],
+) {
+    match rule {
+        EligibilityRule::StrategyParameters => {
+            for j in catalog.eligible_for(&request.params) {
+                let model = strategy_models[j].expect("eligible slots are live");
+                row[j] = model.required_workforce(&request.params);
+            }
+        }
+        EligibilityRule::ModelOnly => {
+            for (cell, model) in row.iter_mut().zip(strategy_models) {
+                if let Some(model) = model {
+                    *cell = model.required_workforce(&request.params);
+                }
+            }
+        }
     }
 }
 

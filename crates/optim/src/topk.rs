@@ -28,6 +28,29 @@ impl Ord for OrdF64 {
     }
 }
 
+/// Reusable working memory for [`k_smallest_indices_into`]: the bounded
+/// selection heap and its drain buffer.
+///
+/// Row-at-a-time callers (the workforce-matrix aggregation walks `m` rows
+/// with the same `k`) keep one scratch and pay for the heap allocation once
+/// instead of per row. A fresh scratch and a reused one produce identical
+/// selections.
+#[derive(Debug, Clone, Default)]
+pub struct TopKScratch {
+    /// Max-heap of `(value, index)` keeping the `k` smallest seen so far.
+    heap: BinaryHeap<(OrdF64, usize)>,
+    /// Heap drain-and-sort buffer.
+    sorted: Vec<(f64, usize)>,
+}
+
+impl TopKScratch {
+    /// Creates an empty scratch; buffers grow to `k` on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Returns the indices of the `k` smallest values, ordered by ascending
 /// value (ties broken by ascending index), using a bounded max-heap so the
 /// cost is `O(n log k)` rather than `O(n log n)`.
@@ -38,11 +61,26 @@ impl Ord for OrdF64 {
 /// exist, all of them are returned (callers detect the shortfall by length).
 #[must_use]
 pub fn k_smallest_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    k_smallest_indices_into(values, k, &mut TopKScratch::new(), &mut out);
+    out
+}
+
+/// [`k_smallest_indices`] writing the selection into a caller-provided
+/// buffer (cleared first) and reusing `scratch` for the heap, so repeated
+/// row selections allocate nothing in steady state.
+pub fn k_smallest_indices_into(
+    values: &[f64],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    // Max-heap of (value, index) keeping the k smallest seen so far.
-    let mut heap: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(k + 1);
+    let heap = &mut scratch.heap;
+    heap.clear();
     for (idx, &value) in values.iter().enumerate() {
         if !value.is_finite() {
             continue;
@@ -56,9 +94,12 @@ pub fn k_smallest_indices(values: &[f64], k: usize) -> Vec<usize> {
             }
         }
     }
-    let mut result: Vec<(f64, usize)> = heap.into_iter().map(|(v, i)| (v.0, i)).collect();
-    result.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    result.into_iter().map(|(_, i)| i).collect()
+    scratch.sorted.clear();
+    scratch.sorted.extend(heap.drain().map(|(v, i)| (v.0, i)));
+    scratch
+        .sorted
+        .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    out.extend(scratch.sorted.iter().map(|&(_, i)| i));
 }
 
 /// Sort-based reference implementation of [`k_smallest_indices`], `O(n log n)`.
@@ -148,6 +189,24 @@ mod tests {
     fn ties_are_broken_by_index() {
         let values = [0.3, 0.3, 0.3];
         assert_eq!(k_smallest_indices(&values, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_selection() {
+        let mut scratch = TopKScratch::new();
+        let mut out = Vec::new();
+        let rows: [&[f64]; 4] = [
+            &[0.5, 0.1, 0.9, 0.3, 0.2],
+            &[f64::INFINITY, 0.4, f64::NAN, 0.2],
+            &[],
+            &[0.3, 0.3, 0.3],
+        ];
+        for row in rows {
+            for k in 0..5 {
+                k_smallest_indices_into(row, k, &mut scratch, &mut out);
+                assert_eq!(out, k_smallest_indices(row, k), "k = {k}, row {row:?}");
+            }
+        }
     }
 
     proptest! {

@@ -12,8 +12,10 @@
 //! (`PROPTEST_CASES=256` in the workflow).
 
 use proptest::prelude::*;
+use stratrec::core::adpar::{AdparBruteForce, AdparExact, AdparProblem, AdparSolver, SolveScratch};
 use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
-use stratrec::core::model::{DeploymentParameters, Strategy};
+use stratrec::core::model::{DeploymentParameters, DeploymentRequest, Strategy, TaskType};
+use stratrec::geometry::Axis;
 
 const POLICIES: [RebuildPolicy; 3] = [
     RebuildPolicy::always(),
@@ -29,6 +31,17 @@ fn shadow_eligible(shadow: &[(usize, Strategy)], probe: &DeploymentParameters) -
         .filter(|(_, s)| s.params.satisfies(probe))
         .map(|(slot, _)| *slot)
         .collect()
+}
+
+/// The shadow's slots sorted ascending by `(normalized coordinate, slot)` —
+/// the ground truth for the catalog's pre-sorted axis orders.
+fn shadow_axis_order(shadow: &[(usize, Strategy)], axis: Axis) -> Vec<usize> {
+    let mut keyed: Vec<(f64, usize)> = shadow
+        .iter()
+        .map(|(slot, s)| (s.to_normalized_point().coord(axis), *slot))
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keyed.into_iter().map(|(_, slot)| slot).collect()
 }
 
 proptest! {
@@ -94,6 +107,18 @@ proptest! {
                         catalog.rebuild_policy()
                     );
                 }
+                // The catalog-resident axis orders follow the same
+                // log-structured discipline and must be exact at every
+                // churn point too.
+                for axis in Axis::ALL {
+                    prop_assert_eq!(
+                        catalog.axis_order(axis),
+                        shadow_axis_order(&shadow, axis),
+                        "policy {:?}, axis {:?}",
+                        catalog.rebuild_policy(),
+                        axis
+                    );
+                }
             }
             // The always-policy may never accumulate an overlay.
             prop_assert!(catalogs[0].overlay_is_empty());
@@ -109,6 +134,101 @@ proptest! {
             catalog.force_rebuild();
             prop_assert_eq!(catalog.eligible_for(&final_probe), expected.clone());
             prop_assert_eq!(catalog.index().len(), shadow.len());
+            for axis in Axis::ALL {
+                prop_assert_eq!(
+                    catalog.axis_order(axis),
+                    shadow_axis_order(&shadow, axis),
+                    "axis {:?} after rebuild",
+                    axis
+                );
+            }
+        }
+    }
+
+    /// Catalog-aware `ADPaR-Exact` (sweeping the catalog's pre-sorted axis
+    /// orders through a reused [`SolveScratch`]) against the exhaustive
+    /// `ADPaRB` reference on catalog-backed problems, **after churn**, for
+    /// every rebuild policy: the sweep optimum must match brute force, and
+    /// the catalog problem must reproduce the compacted plain-slice problem
+    /// bit for bit (indices mapped through the live slot order).
+    #[test]
+    fn catalog_exact_matches_brute_force_after_churn(
+        initial in proptest::collection::vec(
+            (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 3..9),
+        churn in proptest::collection::vec(
+            (0.0_f64..1.0, (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0)), 0..14),
+        req in (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0),
+        k in 1_usize..4,
+    ) {
+        prop_assume!(k <= initial.len());
+        let request = DeploymentRequest::new(
+            0,
+            TaskType::TextCreation,
+            DeploymentParameters::clamped(req.0, req.1, req.2),
+        );
+        let seed: Vec<Strategy> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, c, l))| {
+                Strategy::from_params(i as u64, DeploymentParameters::clamped(q, c, l))
+            })
+            .collect();
+        let mut scratch = SolveScratch::new();
+        for policy in POLICIES {
+            let mut catalog = StrategyCatalog::with_policy(seed.clone(), policy);
+            let mut next_id = seed.len() as u64;
+            for &(selector, (a, b, c)) in &churn {
+                if selector < 0.5 {
+                    let strategy =
+                        Strategy::from_params(next_id, DeploymentParameters::clamped(a, b, c));
+                    next_id += 1;
+                    catalog.insert(strategy);
+                } else if catalog.len() > k {
+                    // Retire a random live slot, keeping at least k alive so
+                    // every problem below stays feasible.
+                    let live = catalog.live_indices();
+                    let victim = live[((a * live.len() as f64) as usize).min(live.len() - 1)];
+                    prop_assert!(catalog.retire(victim));
+                }
+            }
+
+            let live_slots = catalog.live_indices();
+            let compact: Vec<Strategy> = live_slots
+                .iter()
+                .map(|&slot| catalog.strategy(slot).clone())
+                .collect();
+
+            let indexed = AdparProblem::with_catalog(&request, &catalog, k);
+            let exact = AdparExact.solve_with_scratch(&indexed, &mut scratch).unwrap();
+            let brute = AdparBruteForce.solve(&indexed).unwrap();
+            prop_assert!(
+                (exact.distance - brute.distance).abs() < 1e-9,
+                "policy {:?}: exact {} vs brute {}",
+                policy, exact.distance, brute.distance
+            );
+            prop_assert!(exact.strategy_indices.len() >= k);
+            prop_assert!(exact
+                .strategy_indices
+                .iter()
+                .all(|&slot| catalog.is_live(slot)));
+
+            // The catalog problem must agree bit for bit with a plain
+            // problem over the compacted live set.
+            let plain = AdparProblem::new(&request, &compact, k);
+            let plain_exact = AdparExact.solve(&plain).unwrap();
+            prop_assert_eq!(plain_exact.relaxation, exact.relaxation, "policy {:?}", policy);
+            prop_assert_eq!(
+                plain_exact.alternative,
+                exact.alternative.clone(),
+                "policy {:?}",
+                policy
+            );
+            let mapped: Vec<usize> = plain_exact
+                .strategy_indices
+                .iter()
+                .map(|&compact_idx| live_slots[compact_idx])
+                .collect();
+            prop_assert_eq!(mapped, exact.strategy_indices, "policy {:?}", policy);
         }
     }
 }

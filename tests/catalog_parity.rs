@@ -9,6 +9,7 @@ use stratrec::core::adpar::{
 use stratrec::core::availability::AvailabilityPdf;
 use stratrec::core::batch::{BatchObjective, BatchStrat};
 use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec::core::engine::BatchEngine;
 use stratrec::core::model::{DeploymentRequest, Strategy};
 use stratrec::core::modeling::ModelLibrary;
 use stratrec::core::prelude::*;
@@ -269,6 +270,68 @@ fn adpar_parity_survives_catalog_churn() {
         catalog.force_rebuild();
         assert!(catalog.index_is_packed_live());
         check_parity(&catalog, "post-force_rebuild");
+    }
+}
+
+#[test]
+fn batch_engine_outputs_are_identical_for_every_thread_count() {
+    // The parallel engine must produce byte-identical workforce matrices
+    // and ADPaR solutions no matter how the rows / problems are sharded.
+    for seed in SEEDS {
+        let instance = BatchScenario {
+            batch_size: 24,
+            strategy_count: 400,
+            k: 4,
+            availability: 0.4,
+            distribution: ParameterDistribution::Uniform,
+            seed,
+        }
+        .materialize();
+        let catalog = instance.catalog();
+        for rule in [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ] {
+            let sequential = WorkforceMatrix::compute_with_catalog(
+                &instance.requests,
+                &catalog,
+                &instance.models,
+                rule,
+            )
+            .unwrap();
+            for threads in [1, 2, 3, 5, 0] {
+                let parallel = BatchEngine::with_threads(threads)
+                    .workforce_matrix(&instance.requests, &catalog, &instance.models, rule)
+                    .unwrap();
+                assert_eq!(
+                    sequential, parallel,
+                    "seed {seed}, {rule:?}, {threads} threads"
+                );
+            }
+        }
+
+        // ADPaR fan-out over every request in the batch, against standalone
+        // solves in input order.
+        let indices: Vec<usize> = (0..instance.requests.len()).collect();
+        let expected: Vec<_> = indices
+            .iter()
+            .map(|&idx| {
+                AdparExact.solve(&AdparProblem::with_catalog(
+                    &instance.requests[idx],
+                    &catalog,
+                    4,
+                ))
+            })
+            .collect();
+        for threads in [1, 2, 3, 0] {
+            let batch = BatchEngine::with_threads(threads).solve_adpar_batch(
+                &instance.requests,
+                &catalog,
+                &indices,
+                4,
+            );
+            assert_eq!(batch, expected, "seed {seed}, {threads} threads");
+        }
     }
 }
 

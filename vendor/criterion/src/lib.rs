@@ -124,7 +124,26 @@ impl Bencher {
     }
 }
 
+/// Whether `STRATREC_BENCH_SMOKE` requests smoke mode: each benchmark runs
+/// its routine exactly once, with no calibration and no timed samples. CI
+/// uses this to execute every bench binary end to end on a tiny budget, so
+/// a perf-path that stops compiling or panics fails the build instead of
+/// rotting silently.
+fn smoke_mode() -> bool {
+    std::env::var_os("STRATREC_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    if smoke_mode() {
+        let mut bencher = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let elapsed = bencher.samples.first().copied().unwrap_or_default();
+        println!("bench {label:<48} smoke ok ({})", fmt_duration(elapsed));
+        return;
+    }
     // Calibration: find a batch size so one sample takes ≥ ~1 ms, capping
     // total time for slow routines.
     let mut bencher = Bencher {
