@@ -15,11 +15,16 @@
 //! Both disciplines retire exactly the same strategies (`ChurnEpoch` stores
 //! rank-based picks) and answer exactly the same queries, so the timing gap
 //! is pure maintenance cost.
+//!
+//! A third group ([`bench_compaction_loop`]) runs the full churn → compact
+//! → query lifecycle over 10 epochs under the `CompactPolicy` variants,
+//! reporting slot growth and peak workforce-matrix bytes with and without
+//! epoch-boundary compaction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
-use stratrec_workload::churn::ChurnScenario;
+use stratrec_workload::churn::{ChurnScenario, CompactPolicy};
 
 fn paper_scale_scenario(churn_rate: f64) -> ChurnScenario {
     ChurnScenario {
@@ -117,9 +122,84 @@ fn bench_maintenance_primitive(c: &mut Criterion) {
     group.finish();
 }
 
+/// The full churn → compact → query loop over ≥ 10 epochs: slot-shaped
+/// memory stays bounded with an epoch-boundary [`CompactPolicy`] where the
+/// never-compact discipline grows monotonically.
+///
+/// Besides the timing, each configuration reports (to stderr, outside the
+/// timed region) the final/peak `slot_count` and the peak workforce-matrix
+/// footprint (`batch_size × slot_count × 8` bytes) with and without
+/// compaction — the memory claim the ROADMAP item asks the bench to pin.
+fn bench_compaction_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_compaction_10k_10epochs");
+    group.sample_size(10);
+    for &churn_pct in &[1_usize, 5, 10] {
+        for (label, policy) in [
+            ("never_compact", CompactPolicy::Never),
+            ("compact_every_2_epochs", CompactPolicy::EveryNEpochs(2)),
+            (
+                "compact_at_30pct_tombstones",
+                CompactPolicy::TombstoneRatio(0.3),
+            ),
+        ] {
+            // The compaction policy is a scenario knob: `apply_epoch` reads
+            // it from the instance. Same seed per churn rate, so every
+            // policy replays an identical epoch stream.
+            let instance = ChurnScenario {
+                epochs: 10,
+                compact: policy,
+                ..paper_scale_scenario(churn_pct as f64 / 100.0)
+            }
+            .materialize();
+            let base = instance.catalog(RebuildPolicy::default());
+
+            // Memory accounting pass (unmeasured): replay the loop once and
+            // report the slot growth this policy allows.
+            let mut catalog = base.clone();
+            let mut peak_slots = 0_usize;
+            let mut peak_matrix_bytes = 0_usize;
+            let mut compactions = 0_usize;
+            for (i, epoch) in instance.epochs.iter().enumerate() {
+                let (_, remap) = instance.apply_epoch(i, &mut catalog);
+                compactions += usize::from(remap.is_some());
+                peak_slots = peak_slots.max(catalog.slot_count());
+                peak_matrix_bytes = peak_matrix_bytes
+                    .max(epoch.requests.len() * catalog.slot_count() * std::mem::size_of::<f64>());
+            }
+            eprintln!(
+                "churn_compaction_10k_10epochs/{label}/{churn_pct}pct: \
+                 final slot_count {} (live {}), peak slot_count {peak_slots}, \
+                 peak matrix bytes {peak_matrix_bytes}, compactions {compactions}",
+                catalog.slot_count(),
+                catalog.len(),
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{churn_pct}pct")),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        let mut catalog = base.clone();
+                        let mut served = 0_usize;
+                        for (i, epoch) in instance.epochs.iter().enumerate() {
+                            instance.apply_epoch(i, &mut catalog);
+                            for request in &epoch.requests {
+                                served += catalog.eligible_for_request(request).len();
+                            }
+                        }
+                        black_box((served, catalog.slot_count()))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rebuild_vs_overlay,
-    bench_maintenance_primitive
+    bench_maintenance_primitive,
+    bench_compaction_loop
 );
 criterion_main!(benches);

@@ -49,7 +49,13 @@ use crate::model::{DeploymentParameters, DeploymentRequest, Strategy};
 /// relaxations are valid for exactly one catalog [`epoch`]: the problem
 /// borrows the catalog, so Rust's borrow rules already prevent mutation
 /// while the problem is alive, and [`Self::catalog_epoch`] lets any derived
-/// cache that outlives the borrow invalidate on the next epoch bump.
+/// cache that outlives the borrow invalidate on the next epoch bump. A
+/// problem re-pinned at an older epoch ([`Self::pinned_at_epoch`], the
+/// cache-replay path) fails [`Self::validate`] with the typed
+/// [`StratRecError::StaleCatalog`] instead of silently reusing stale slot
+/// references; solutions that outlive a
+/// [`compact()`](StrategyCatalog::compact) are renumbered with
+/// [`AdparSolution::remap`].
 ///
 /// [`epoch`]: StrategyCatalog::epoch
 #[derive(Debug, Clone)]
@@ -160,6 +166,20 @@ impl<'a> AdparProblem<'a> {
         self.catalog_epoch
     }
 
+    /// Re-pins the problem's cached state at `epoch` — for caches that
+    /// replay relaxations or slot sets captured at an earlier catalog epoch.
+    /// If the catalog has moved past that epoch (any insert, retire or
+    /// compaction since), [`Self::validate`] — and therefore every solver —
+    /// fails with the typed [`StratRecError::StaleCatalog`] instead of
+    /// silently reporting slot numbers the catalog may have renumbered.
+    #[must_use]
+    pub fn pinned_at_epoch(mut self, epoch: u64) -> Self {
+        if self.catalog.is_some() {
+            self.catalog_epoch = epoch;
+        }
+        self
+    }
+
     /// Number of strategies a relaxation could ever cover: the catalog's
     /// live count, or the full slice length for plain problems.
     #[must_use]
@@ -168,14 +188,27 @@ impl<'a> AdparProblem<'a> {
             .map_or(self.strategies.len(), StrategyCatalog::len)
     }
 
-    /// Validates the instance: `k ≥ 1` and at least `k` **live** strategies
-    /// exist.
+    /// Validates the instance: the cached state matches the catalog's
+    /// current epoch, `k ≥ 1` and at least `k` **live** strategies exist.
     ///
     /// # Errors
     ///
-    /// Returns [`StratRecError::ZeroCardinality`] or
+    /// Returns [`StratRecError::StaleCatalog`] when the problem is pinned at
+    /// an epoch the catalog has moved past (only reachable through the
+    /// [`Self::pinned_at_epoch`] cache-replay path — a freshly built problem
+    /// freezes the catalog through its borrow),
+    /// [`StratRecError::ZeroCardinality`] or
     /// [`StratRecError::NotEnoughStrategies`].
     pub fn validate(&self) -> Result<(), StratRecError> {
+        if let Some(catalog) = self.catalog {
+            let found = catalog.epoch();
+            if found != self.catalog_epoch {
+                return Err(StratRecError::StaleCatalog {
+                    expected: self.catalog_epoch,
+                    found,
+                });
+            }
+        }
         if self.k == 0 {
             return Err(StratRecError::ZeroCardinality);
         }
@@ -316,6 +349,25 @@ impl AdparSolution {
     pub fn is_feasible_for(&self, problem: &AdparProblem<'_>) -> bool {
         self.strategy_indices.len() >= problem.k
     }
+
+    /// Renumbers `strategy_indices` through a catalog compaction's
+    /// [`SlotRemap`](crate::catalog::SlotRemap): a solution computed before
+    /// the compaction stays valid under the new dense numbering (the
+    /// parameters, relaxation and distance are untouched — compaction never
+    /// changes the live set). Returns `None` when any admitted slot was
+    /// reclaimed, i.e. the solution predates a retirement and must be
+    /// re-solved; the indices stay ascending because the renumbering is
+    /// order-preserving.
+    #[must_use]
+    pub fn remap(&self, remap: &crate::catalog::SlotRemap) -> Option<Self> {
+        let strategy_indices = remap.remap_slots(&self.strategy_indices)?;
+        Some(Self {
+            alternative: self.alternative,
+            relaxation: self.relaxation,
+            strategy_indices,
+            distance: self.distance,
+        })
+    }
 }
 
 /// A solver for the ADPaR problem.
@@ -423,6 +475,75 @@ mod tests {
         let d = DeploymentParameters::clamped(0.4, 0.5, 0.5);
         let s = DeploymentParameters::clamped(0.8, 0.2, 0.3);
         assert_eq!(relaxation_of(&s, &d), Point3::origin());
+    }
+
+    #[test]
+    fn stale_epoch_pins_fail_validation_with_a_typed_error() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let request = crate::examples_data::running_example_requests()[1].clone();
+        let mut catalog = crate::catalog::StrategyCatalog::from_slice(&strategies);
+        catalog.insert(Strategy::from_params(
+            9,
+            DeploymentParameters::clamped(0.8, 0.3, 0.3),
+        ));
+        assert_eq!(catalog.epoch(), 1);
+
+        // Fresh problems validate; re-pinning at the current epoch is a
+        // no-op; re-pinning at an older epoch (a cache replaying state from
+        // before the insert) surfaces the typed error through validate and
+        // through every solver.
+        let fresh = AdparProblem::with_catalog(&request, &catalog, 3);
+        assert!(fresh.validate().is_ok());
+        let repinned = AdparProblem::with_catalog(&request, &catalog, 3).pinned_at_epoch(1);
+        assert!(repinned.validate().is_ok());
+        let stale = AdparProblem::with_catalog(&request, &catalog, 3).pinned_at_epoch(0);
+        assert_eq!(
+            stale.validate(),
+            Err(StratRecError::StaleCatalog {
+                expected: 0,
+                found: 1
+            })
+        );
+        assert!(matches!(
+            AdparExact.solve(&stale),
+            Err(StratRecError::StaleCatalog { .. })
+        ));
+        // Plain-slice problems have no catalog to go stale against.
+        let plain = AdparProblem::new(&request, &strategies, 3).pinned_at_epoch(42);
+        assert!(plain.validate().is_ok());
+    }
+
+    #[test]
+    fn solutions_remap_through_a_compaction() {
+        let strategies = crate::examples_data::running_example_strategies();
+        let request = crate::examples_data::running_example_requests()[1].clone();
+        let mut catalog = crate::catalog::StrategyCatalog::from_slice(&strategies);
+        assert!(catalog.retire(0));
+        let before = AdparExact
+            .solve(&AdparProblem::with_catalog(&request, &catalog, 3))
+            .unwrap();
+
+        let remap = catalog.compact();
+        let remapped = before.remap(&remap).unwrap();
+        assert_eq!(remapped.alternative, before.alternative);
+        assert_eq!(remapped.relaxation, before.relaxation);
+        assert_eq!(remapped.distance, before.distance);
+        assert_eq!(
+            remapped.strategy_indices,
+            remap.remap_slots(&before.strategy_indices).unwrap()
+        );
+        // The remapped solution is exactly the post-compaction solve.
+        let after = AdparExact
+            .solve(&AdparProblem::with_catalog(&request, &catalog, 3))
+            .unwrap();
+        assert_eq!(remapped, after);
+
+        // A solution referencing a reclaimed slot cannot be remapped.
+        let stale = AdparSolution {
+            strategy_indices: vec![0, 1],
+            ..before
+        };
+        assert!(stale.remap(&remap).is_none());
     }
 
     #[test]

@@ -104,6 +104,11 @@ impl BatchEngine {
         models: &ModelLibrary,
         rule: EligibilityRule,
     ) -> Result<WorkforceMatrix, StratRecError> {
+        // Rows are slot-shaped: one column per catalog slot, so row width —
+        // and the whole cell buffer — tracks `slot_count`, which a
+        // `compact()` snaps back to `len()` (the live count). Long-lived
+        // matrices follow the same compaction through
+        // `WorkforceMatrix::remap_columns`.
         let cols = catalog.slot_count();
         let threads = self.effective_threads(requests.len());
         if threads < 2 || cols == 0 {
@@ -266,6 +271,49 @@ mod tests {
             .aggregate(1, AggregationMode::Sum)
             .iter()
             .all(Option::is_none));
+    }
+
+    #[test]
+    fn matrix_width_tracks_live_count_after_a_compacted_rebuild() {
+        // Regression: the engine's row width is the catalog's slot count,
+        // which grows with churn; after a `compact()` it must equal the
+        // live count, not the historical slot count — and the remapped old
+        // matrix must equal the freshly computed narrow one.
+        let (requests, strategies, _) = setup();
+        let mut catalog = StrategyCatalog::from_slice(&strategies);
+        catalog.insert(crate::model::Strategy::from_params(
+            10,
+            crate::model::DeploymentParameters::clamped(0.85, 0.25, 0.3),
+        ));
+        let models = ModelLibrary::uniform_for(
+            catalog.strategies(),
+            crate::modeling::StrategyModel::uniform(1.0, 0.0),
+        );
+        assert!(catalog.retire(1));
+        assert!(catalog.retire(3));
+        assert_eq!(catalog.slot_count(), 5);
+        assert_eq!(catalog.len(), 3);
+
+        let rule = EligibilityRule::StrategyParameters;
+        let wide = BatchEngine::sequential()
+            .workforce_matrix(&requests, &catalog, &models, rule)
+            .unwrap();
+        assert_eq!(wide.cols(), catalog.slot_count());
+
+        let remap = catalog.compact();
+        assert_eq!(catalog.slot_count(), catalog.len());
+        for threads in [1, 3, 0] {
+            let narrow = BatchEngine::with_threads(threads)
+                .workforce_matrix(&requests, &catalog, &models, rule)
+                .unwrap();
+            assert_eq!(narrow.cols(), catalog.len(), "{threads} threads");
+            assert_eq!(
+                narrow.cols(),
+                3,
+                "{threads} threads: width is the live count, not the 5 historical slots"
+            );
+            assert_eq!(wide.remap_columns(&remap), narrow, "{threads} threads");
+        }
     }
 
     #[test]

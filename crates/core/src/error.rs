@@ -34,6 +34,18 @@ pub enum StratRecError {
         /// Identifier of the strategy whose model is missing.
         strategy: u64,
     },
+    /// Derived data was pinned at a catalog epoch the catalog has moved past
+    /// (an insert, retire or compaction happened since): its slot references
+    /// may be renumbered or reclaimed, so the operation refuses to run
+    /// instead of silently using stale slots. Re-derive against the current
+    /// catalog, or — after a compaction — renumber through the returned
+    /// [`crate::catalog::SlotRemap`].
+    StaleCatalog {
+        /// The catalog epoch the derived data was captured at.
+        expected: u64,
+        /// The catalog's current epoch.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for StratRecError {
@@ -58,6 +70,11 @@ impl std::fmt::Display for StratRecError {
             Self::MissingModel { strategy } => {
                 write!(f, "no fitted model for strategy {strategy}")
             }
+            Self::StaleCatalog { expected, found } => write!(
+                f,
+                "catalog moved to epoch {found} but the problem was built at epoch {expected}; \
+                 rebuild it (or remap through the compaction's SlotRemap)"
+            ),
         }
     }
 }
@@ -92,6 +109,13 @@ mod tests {
                 "2 strategies",
             ),
             (StratRecError::MissingModel { strategy: 7 }, "strategy 7"),
+            (
+                StratRecError::StaleCatalog {
+                    expected: 3,
+                    found: 5,
+                },
+                "epoch 5",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

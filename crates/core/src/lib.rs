@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::batch::{
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
-    pub use crate::catalog::{RebuildPolicy, StrategyCatalog};
+    pub use crate::catalog::{RebuildPolicy, SlotRemap, StrategyCatalog};
     pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;
     pub use crate::model::{

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 use stratrec_optim::topk::{self, TopKScratch};
 
-use crate::catalog::StrategyCatalog;
+use crate::catalog::{SlotRemap, StrategyCatalog};
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
 use crate::modeling::{ModelLibrary, StrategyModel};
@@ -57,6 +57,21 @@ pub struct RequestRequirement {
     /// Aggregated workforce requirement in `[0, 1]` (fraction of the suitable
     /// worker pool).
     pub workforce: f64,
+}
+
+impl RequestRequirement {
+    /// Renumbers the recommended slots through a catalog compaction's
+    /// [`SlotRemap`]. Returns `None` when any recommended slot was reclaimed
+    /// — the requirement predates a retirement and must be re-aggregated.
+    #[must_use]
+    pub fn remap(&self, remap: &SlotRemap) -> Option<Self> {
+        let strategy_indices = remap.remap_slots(&self.strategy_indices)?;
+        Some(Self {
+            request_index: self.request_index,
+            strategy_indices,
+            workforce: self.workforce,
+        })
+    }
 }
 
 /// The `m × |S|` workforce-requirement matrix.
@@ -204,6 +219,42 @@ impl WorkforceMatrix {
     #[must_use]
     pub fn row(&self, request: usize) -> &[f64] {
         &self.cells[request * self.cols..(request + 1) * self.cols]
+    }
+
+    /// Renumbers the matrix columns through a catalog compaction's
+    /// [`SlotRemap`]: column `old` moves to `remap.forward[old]` and the
+    /// columns of reclaimed slots — retired, therefore `f64::INFINITY` in
+    /// every row — are shed. A long-lived matrix thus follows its catalog
+    /// through [`StrategyCatalog::compact`] instead of being recomputed:
+    /// the result is **identical** to [`Self::compute_with_catalog`] over
+    /// the compacted catalog (same requests, models and rule), which the
+    /// engine regression tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix width does not match the remap's
+    /// pre-compaction slot count.
+    #[must_use]
+    pub fn remap_columns(&self, remap: &SlotRemap) -> Self {
+        assert_eq!(
+            self.cols,
+            remap.len(),
+            "matrix width must equal the remap's pre-compaction slot count"
+        );
+        let cols = remap.live_len;
+        let mut cells = vec![f64::INFINITY; self.rows * cols];
+        for row in 0..self.rows {
+            let src = &self.cells[row * self.cols..(row + 1) * self.cols];
+            let dst = &mut cells[row * cols..(row + 1) * cols];
+            for (old, new) in remap.mapped_pairs() {
+                dst[new] = src[old];
+            }
+        }
+        Self {
+            rows: self.rows,
+            cols,
+            cells,
+        }
     }
 
     /// Aggregates each row into a per-request requirement over the `k`
@@ -382,6 +433,76 @@ mod tests {
             ),
             Err(StratRecError::MissingModel { .. })
         ));
+    }
+
+    #[test]
+    fn remapped_columns_match_a_fresh_compute_over_the_compacted_catalog() {
+        let (requests, strategies, _) = example_setup();
+        for rule in [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ] {
+            let mut catalog = crate::catalog::StrategyCatalog::from_slice(&strategies);
+            catalog.insert(Strategy::from_params(
+                9,
+                DeploymentParameters::clamped(0.8, 0.3, 0.3),
+            ));
+            assert!(catalog.retire(0));
+            assert!(catalog.retire(2));
+            // The pre-compaction matrix carries the dead columns...
+            let models =
+                ModelLibrary::uniform_for(catalog.strategies(), StrategyModel::uniform(1.0, 0.0));
+            let wide =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            assert_eq!(wide.cols(), 5);
+
+            // ...and sheds exactly them through the remap, landing on the
+            // same cells a recompute over the compacted catalog produces.
+            let remap = catalog.compact();
+            let narrow = wide.remap_columns(&remap);
+            assert_eq!(narrow.cols(), catalog.len());
+            assert_eq!(narrow.rows(), wide.rows());
+            let recomputed =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            assert_eq!(narrow, recomputed, "{rule:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-compaction slot count")]
+    fn remap_columns_validates_the_width() {
+        let mut catalog = crate::catalog::StrategyCatalog::new(vec![Strategy::from_params(
+            0,
+            DeploymentParameters::clamped(0.8, 0.2, 0.2),
+        )]);
+        let remap = catalog.compact();
+        let _ = WorkforceMatrix::from_cells(1, 3, vec![0.0; 3]).remap_columns(&remap);
+    }
+
+    #[test]
+    fn request_requirements_remap_through_a_compaction() {
+        let mut catalog = crate::catalog::StrategyCatalog::new(vec![
+            Strategy::from_params(0, DeploymentParameters::clamped(0.8, 0.2, 0.2)),
+            Strategy::from_params(1, DeploymentParameters::clamped(0.7, 0.3, 0.3)),
+            Strategy::from_params(2, DeploymentParameters::clamped(0.6, 0.4, 0.4)),
+        ]);
+        assert!(catalog.retire(1));
+        let remap = catalog.compact();
+        let requirement = RequestRequirement {
+            request_index: 3,
+            strategy_indices: vec![0, 2],
+            workforce: 0.4,
+        };
+        let remapped = requirement.remap(&remap).unwrap();
+        assert_eq!(remapped.strategy_indices, vec![0, 1]);
+        assert_eq!(remapped.request_index, 3);
+        assert!((remapped.workforce - 0.4).abs() < 1e-12);
+        // A requirement recommending the reclaimed slot is stale.
+        let stale = RequestRequirement {
+            strategy_indices: vec![0, 1],
+            ..requirement
+        };
+        assert!(stale.remap(&remap).is_none());
     }
 
     #[test]

@@ -18,13 +18,17 @@
 //! Retirement picks are stored as *ranks* resolved against the live set at
 //! application time, so the two disciplines retire exactly the same
 //! strategies: the catalog's ascending live-slot order matches the plain
-//! vector's insertion order position for position.
+//! vector's insertion order position for position. Rank-based picks are
+//! also compaction-proof: they survive the slot renumbering a
+//! [`CompactPolicy`]-driven `compact()` applies at an epoch boundary
+//! ([`ChurnEpoch::apply_with_compaction`]), so the same scenario drives the
+//! full churn → compact → solve loop the compaction benches measure.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use stratrec_core::availability::WorkerAvailability;
-use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec_core::catalog::{RebuildPolicy, SlotRemap, StrategyCatalog};
 use stratrec_core::model::{DeploymentRequest, Strategy};
 use stratrec_core::modeling::ModelLibrary;
 
@@ -32,6 +36,45 @@ use crate::model_gen::generate_models;
 use crate::request_gen::generate_requests;
 use crate::scenario::ParameterDistribution;
 use crate::strategy_gen::generate_strategies;
+
+/// When a long-lived catalog compacts at epoch boundaries, reclaiming
+/// tombstoned slots (see `StrategyCatalog::compact`).
+///
+/// Compaction renumbers slots — every retained slot reference must go
+/// through the returned [`SlotRemap`] — so a service picks its boundary
+/// deliberately: periodically ([`Self::EveryNEpochs`]) for predictable
+/// memory ceilings, or adaptively once dead slots dominate
+/// ([`Self::TombstoneRatio`], the LSM-style space-amplification trigger).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum CompactPolicy {
+    /// Never compact: stable slots forever, `slot_count` grows monotonically
+    /// with churn (the PR-2 behaviour).
+    #[default]
+    Never,
+    /// Compact after every `n`-th epoch (`n ≥ 1`; `0` behaves like
+    /// [`Self::Never`]).
+    EveryNEpochs(usize),
+    /// Compact at an epoch boundary once retired slots make up at least this
+    /// fraction of all slots (`0.3` = compact when ≥ 30 % of the numbering
+    /// is dead weight). Never fires while no slot is retired.
+    TombstoneRatio(f64),
+}
+
+impl CompactPolicy {
+    /// Whether `catalog` should compact at the boundary after
+    /// `epochs_applied` epochs (1-based count of epochs applied so far).
+    #[must_use]
+    pub fn should_compact(self, epochs_applied: usize, catalog: &StrategyCatalog) -> bool {
+        match self {
+            Self::Never => false,
+            Self::EveryNEpochs(n) => n > 0 && epochs_applied.is_multiple_of(n),
+            Self::TombstoneRatio(ratio) => {
+                let retired = catalog.retired_count();
+                retired > 0 && retired as f64 >= ratio * catalog.slot_count() as f64
+            }
+        }
+    }
+}
 
 /// Scenario knobs for a churn experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,6 +95,8 @@ pub struct ChurnScenario {
     pub availability: f64,
     /// Distribution of the strategy parameters.
     pub distribution: ParameterDistribution,
+    /// Epoch-boundary compaction policy for the long-lived catalog.
+    pub compact: CompactPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -69,6 +114,7 @@ impl Default for ChurnScenario {
             k: 10,
             availability: 0.5,
             distribution: ParameterDistribution::Uniform,
+            compact: CompactPolicy::Never,
             seed: 2020,
         }
     }
@@ -120,6 +166,7 @@ impl ChurnScenario {
             models,
             availability: WorkerAvailability::clamped(self.availability),
             k: self.k,
+            compact: self.compact,
         }
     }
 }
@@ -167,6 +214,25 @@ impl ChurnEpoch {
         retired
     }
 
+    /// [`Self::apply`] followed by an epoch-boundary compaction when
+    /// `policy` calls for one; `epochs_applied` is the 1-based count of
+    /// epochs applied to `catalog` so far, this one included. Returns the
+    /// retired slot indices (pre-compaction numbering) and, when the
+    /// catalog compacted, the [`SlotRemap`] every retained slot reference
+    /// must be renumbered through.
+    pub fn apply_with_compaction(
+        &self,
+        catalog: &mut StrategyCatalog,
+        policy: CompactPolicy,
+        epochs_applied: usize,
+    ) -> (Vec<usize>, Option<SlotRemap>) {
+        let retired = self.apply(catalog);
+        let remap = policy
+            .should_compact(epochs_applied, catalog)
+            .then(|| catalog.compact());
+        (retired, remap)
+    }
+
     /// Applies the same churn to a plain live-strategy vector — the
     /// rebuild-per-epoch discipline. Position-for-position this retires the
     /// same strategies as [`Self::apply`] does by slot.
@@ -195,6 +261,8 @@ pub struct ChurnInstance {
     pub availability: WorkerAvailability,
     /// Cardinality constraint `k`.
     pub k: usize,
+    /// Epoch-boundary compaction policy for the long-lived catalog.
+    pub compact: CompactPolicy,
 }
 
 impl ChurnInstance {
@@ -202,6 +270,24 @@ impl ChurnInstance {
     #[must_use]
     pub fn catalog(&self, policy: RebuildPolicy) -> StrategyCatalog {
         StrategyCatalog::with_policy(self.initial.clone(), policy)
+    }
+
+    /// Applies epoch `epoch_index` of [`Self::epochs`] to a long-lived
+    /// catalog, compacting at the boundary when the scenario's
+    /// [`CompactPolicy`] ([`Self::compact`]) calls for it — the canonical
+    /// per-epoch step of the churn → compact → solve loop. Returns the
+    /// retired slots (pre-compaction numbering) and the [`SlotRemap`] when
+    /// the boundary compacted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch_index >= self.epochs.len()`.
+    pub fn apply_epoch(
+        &self,
+        epoch_index: usize,
+        catalog: &mut StrategyCatalog,
+    ) -> (Vec<usize>, Option<SlotRemap>) {
+        self.epochs[epoch_index].apply_with_compaction(catalog, self.compact, epoch_index + 1)
     }
 }
 
@@ -336,6 +422,128 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compact_policies_fire_at_the_right_boundaries() {
+        let instance = small_scenario().materialize();
+        let mut catalog = instance.catalog(RebuildPolicy::threshold(8));
+        assert!(!CompactPolicy::Never.should_compact(1, &catalog));
+        assert!(!CompactPolicy::EveryNEpochs(0).should_compact(4, &catalog));
+        assert!(CompactPolicy::EveryNEpochs(2).should_compact(2, &catalog));
+        assert!(!CompactPolicy::EveryNEpochs(2).should_compact(3, &catalog));
+        // No slot retired yet: the ratio trigger never fires.
+        assert!(!CompactPolicy::TombstoneRatio(0.0).should_compact(1, &catalog));
+        instance.epochs[0].apply(&mut catalog);
+        assert!(catalog.retired_count() > 0);
+        assert!(CompactPolicy::TombstoneRatio(0.0).should_compact(1, &catalog));
+        let ratio = catalog.retired_count() as f64 / catalog.slot_count() as f64;
+        assert!(CompactPolicy::TombstoneRatio(ratio - 1e-9).should_compact(1, &catalog));
+        assert!(!CompactPolicy::TombstoneRatio(ratio + 1e-9).should_compact(1, &catalog));
+    }
+
+    #[test]
+    fn compacting_churn_loop_matches_the_rebuild_discipline() {
+        // The full churn → compact → triage loop must keep agreeing with
+        // the rebuild-per-epoch discipline: compaction renumbers slots but
+        // never changes the live set, and rank-based retirement picks are
+        // applied to the live order, which compaction preserves.
+        let instance = small_scenario().materialize();
+        let engine = BatchStrat::new(BatchObjective::Throughput, AggregationMode::Sum);
+        for policy in [
+            CompactPolicy::EveryNEpochs(1),
+            CompactPolicy::EveryNEpochs(2),
+            CompactPolicy::TombstoneRatio(0.05),
+        ] {
+            let mut catalog = instance.catalog(RebuildPolicy::threshold(7));
+            let mut live = instance.initial.clone();
+            for (i, epoch) in instance.epochs.iter().enumerate() {
+                let (_, remap) = epoch.apply_with_compaction(&mut catalog, policy, i + 1);
+                epoch.apply_to_vec(&mut live);
+                if let Some(remap) = &remap {
+                    assert_eq!(remap.live_len, live.len(), "{policy:?}, epoch {i}");
+                    assert_eq!(catalog.slot_count(), catalog.len(), "{policy:?}, epoch {i}");
+                }
+                // Live sets agree position for position.
+                let catalog_live: Vec<_> = catalog
+                    .live_indices()
+                    .into_iter()
+                    .map(|slot| catalog.strategy(slot).clone())
+                    .collect();
+                assert_eq!(catalog_live, live, "{policy:?}, epoch {i}");
+                // And the triage outcome matches the rebuilt catalog's.
+                let churned = engine
+                    .recommend_with_catalog(
+                        &epoch.requests,
+                        &catalog,
+                        &instance.models,
+                        instance.k,
+                        instance.availability,
+                    )
+                    .unwrap();
+                let rebuilt = engine
+                    .recommend_with_models(
+                        &epoch.requests,
+                        &live,
+                        &instance.models,
+                        instance.k,
+                        instance.availability,
+                    )
+                    .unwrap();
+                assert_eq!(churned.unsatisfied, rebuilt.unsatisfied, "{policy:?}");
+                assert!(
+                    (churned.objective_value - rebuilt.objective_value).abs() < 1e-9,
+                    "{policy:?}"
+                );
+            }
+            // Under per-epoch compaction the numbering never carries dead
+            // slots past a boundary.
+            if policy == CompactPolicy::EveryNEpochs(1) {
+                assert_eq!(catalog.slot_count(), catalog.len());
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_slot_growth_where_never_grows_monotonically() {
+        // The scenario-level policy drives the loop through
+        // `ChurnInstance::apply_epoch`; the two instances share the same
+        // epoch stream and differ only in their `compact` knob.
+        let never_scenario = ChurnScenario {
+            epochs: 8,
+            ..small_scenario()
+        };
+        let compacting_scenario = ChurnScenario {
+            compact: CompactPolicy::EveryNEpochs(1),
+            ..never_scenario
+        };
+        let never_instance = never_scenario.materialize();
+        let compacting_instance = compacting_scenario.materialize();
+        assert_eq!(never_instance.epochs, compacting_instance.epochs);
+
+        let mut never = never_instance.catalog(RebuildPolicy::default());
+        let mut compacting = never.clone();
+        let mut never_peak = 0usize;
+        let mut compacting_peak = 0usize;
+        for i in 0..never_instance.epochs.len() {
+            let (_, no_remap) = never_instance.apply_epoch(i, &mut never);
+            assert!(no_remap.is_none(), "CompactPolicy::Never never compacts");
+            never_peak = never_peak.max(never.slot_count());
+            let (_, remap) = compacting_instance.apply_epoch(i, &mut compacting);
+            assert!(remap.is_some());
+            compacting_peak = compacting_peak.max(compacting.slot_count());
+        }
+        assert_eq!(never.len(), compacting.len());
+        assert!(
+            never.slot_count() > never.len(),
+            "without compaction the numbering keeps every tombstone"
+        );
+        assert_eq!(
+            compacting.slot_count(),
+            compacting.len(),
+            "per-epoch compaction sheds all tombstones at each boundary"
+        );
+        assert!(compacting_peak < never_peak);
     }
 
     #[test]

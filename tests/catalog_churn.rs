@@ -1,15 +1,17 @@
 //! Property-based churn parity: random interleavings of insert / retire /
-//! eligibility-query against a shadow linear scan.
+//! compact / eligibility-query against a shadow linear scan.
 //!
 //! Reenactment-style replay: every generated op sequence is applied in
 //! lockstep to a shadow `Vec<(slot, Strategy)>` (ground truth, scanned
 //! linearly) and to catalogs running three rebuild policies — merge always
-//! (threshold 0), a small finite threshold, and never merge (∞). After
-//! **every** step the catalogs' indexed answers must be identical to the
-//! shadow's, so a divergence pins the exact churn prefix that caused it.
-//! The vendored proptest harness seeds its RNG deterministically from the
-//! test name, so CI replays the same sequences on every run
-//! (`PROPTEST_CASES=256` in the workflow).
+//! (threshold 0), a small finite threshold, and never merge (∞). A
+//! `compact()` op renumbers the shadow through the returned `SlotRemap`
+//! (all three policies must return the same remap — the live set is
+//! identical). After **every** step the catalogs' indexed answers must be
+//! identical to the shadow's, so a divergence pins the exact churn prefix
+//! that caused it. The vendored proptest harness seeds its RNG
+//! deterministically from the test name, so CI replays the same sequences
+//! on every run (`PROPTEST_CASES=256` in the workflow).
 
 use proptest::prelude::*;
 use stratrec::core::adpar::{AdparBruteForce, AdparExact, AdparProblem, AdparSolver, SolveScratch};
@@ -68,8 +70,9 @@ proptest! {
         let mut next_id = seed.len() as u64;
 
         for &(selector, (a, b, c)) in &ops {
-            // Decide the op: ~45 % insert, ~25 % retire, ~30 % pure query.
-            if selector < 0.45 {
+            // Decide the op: ~42 % insert, ~23 % retire, ~8 % compact,
+            // ~27 % pure query.
+            if selector < 0.42 {
                 let strategy =
                     Strategy::from_params(next_id, DeploymentParameters::clamped(a, b, c));
                 next_id += 1;
@@ -80,12 +83,32 @@ proptest! {
                 // Every policy allocates the same stable slot number.
                 prop_assert!(slots.windows(2).all(|w| w[0] == w[1]));
                 shadow.push((slots[0], strategy));
-            } else if selector < 0.70 && !shadow.is_empty() {
+            } else if selector < 0.65 && !shadow.is_empty() {
                 let victim = ((a * shadow.len() as f64) as usize).min(shadow.len() - 1);
                 let (slot, _) = shadow.remove(victim);
                 for catalog in &mut catalogs {
                     prop_assert!(catalog.retire(slot), "slot {slot} should be live");
                     prop_assert!(!catalog.retire(slot), "double retire must be a no-op");
+                }
+            } else if selector < 0.73 {
+                // Compact every catalog; the live sets are identical, so the
+                // remaps must be too, and the shadow renumbers through it.
+                let remaps: Vec<_> = catalogs
+                    .iter_mut()
+                    .map(stratrec::core::catalog::StrategyCatalog::compact)
+                    .collect();
+                prop_assert!(remaps.windows(2).all(|w| w[0] == w[1]));
+                let remap = &remaps[0];
+                prop_assert_eq!(remap.live_len, shadow.len());
+                for (slot, _) in &mut shadow {
+                    let new = remap.remap(*slot);
+                    prop_assert!(new.is_some(), "live slot {} must survive compaction", *slot);
+                    *slot = new.unwrap();
+                }
+                for catalog in &catalogs {
+                    prop_assert_eq!(catalog.slot_count(), catalog.len());
+                    prop_assert!(catalog.overlay_is_empty());
+                    prop_assert!(catalog.index_is_packed_live());
                 }
             }
 

@@ -274,6 +274,81 @@ fn adpar_parity_survives_catalog_churn() {
 }
 
 #[test]
+fn four_solver_parity_survives_compaction() {
+    // Solve, compact, remap the solution slots, solve again: for every
+    // solver the two answers must be **bit-identical modulo the remap** —
+    // compaction renumbers slots but never changes the live set, the
+    // relative slot order (all tie-breaks), the packed STR structure, or a
+    // single floating-point input of any solver.
+    use stratrec::core::model::DeploymentParameters;
+
+    for policy in [
+        RebuildPolicy::always(),
+        RebuildPolicy::threshold(2),
+        RebuildPolicy::never(),
+    ] {
+        let strategies = stratrec::core::examples_data::running_example_strategies();
+        let requests = stratrec::core::examples_data::running_example_requests();
+        let mut catalog = StrategyCatalog::with_policy(strategies, policy);
+        catalog.insert(stratrec::core::model::Strategy::from_params(
+            10,
+            DeploymentParameters::clamped(0.9, 0.45, 0.2),
+        ));
+        catalog.insert(stratrec::core::model::Strategy::from_params(
+            11,
+            DeploymentParameters::clamped(0.6, 0.15, 0.35),
+        ));
+        assert!(catalog.retire(0));
+        assert!(catalog.retire(2));
+
+        let solvers: [&dyn AdparSolver; 4] = [
+            &AdparExact,
+            &AdparBruteForce,
+            &AdparBaseline2,
+            &AdparBaseline3::default(),
+        ];
+
+        // Solve everything against the churned (pre-compaction) numbering.
+        let before: Vec<Vec<_>> = requests
+            .iter()
+            .map(|request| {
+                solvers
+                    .iter()
+                    .map(|solver| {
+                        solver
+                            .solve(&AdparProblem::with_catalog(request, &catalog, 3))
+                            .unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let remap = catalog.compact();
+        assert_eq!(catalog.slot_count(), catalog.len());
+        assert!(catalog.index_is_packed_live());
+
+        for (request, request_before) in requests.iter().zip(&before) {
+            for (solver, old) in solvers.iter().zip(request_before) {
+                let context = format!(
+                    "{policy:?}, solver {}, request {:?}",
+                    solver.name(),
+                    request.id
+                );
+                let remapped = old.remap(&remap).unwrap_or_else(|| {
+                    panic!("pre-compaction solutions admit live slots only: {context}")
+                });
+                let fresh = solver
+                    .solve(&AdparProblem::with_catalog(request, &catalog, 3))
+                    .unwrap();
+                // Full structural equality: alternative, relaxation and
+                // distance bit-identical, indices equal after renumbering.
+                assert_eq!(remapped, fresh, "{context}");
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_engine_outputs_are_identical_for_every_thread_count() {
     // The parallel engine must produce byte-identical workforce matrices
     // and ADPaR solutions no matter how the rows / problems are sharded.
