@@ -23,8 +23,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
-use stratrec_workload::churn::{ChurnScenario, CompactPolicy};
+use stratrec_core::engine::BatchEngine;
+use stratrec_core::workforce::{
+    AggregationCache, AggregationMode, EligibilityRule, WorkforceMatrix,
+};
+use stratrec_workload::churn::{ChurnInstance, ChurnScenario, CompactPolicy};
 
 fn paper_scale_scenario(churn_rate: f64) -> ChurnScenario {
     ChurnScenario {
@@ -196,10 +201,300 @@ fn bench_compaction_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// One measured configuration of the incremental-vs-recompute comparison.
+struct IncrementalConfig {
+    label: &'static str,
+    churn_pct: usize,
+    compact: CompactPolicy,
+    rule: EligibilityRule,
+}
+
+/// Maintenance-step timings (matrix + aggregation only; the catalog churn
+/// itself is applied outside the timed region — it is identical in both
+/// disciplines and already measured by the other groups).
+struct IncrementalMeasurement {
+    incremental_ns_per_epoch: f64,
+    recompute_ns_per_epoch: f64,
+    repaired_rows_per_epoch: f64,
+    epochs: usize,
+    rows: usize,
+}
+
+fn measure_incremental(
+    instance: &ChurnInstance,
+    base: &StrategyCatalog,
+    rule: EligibilityRule,
+    reps: usize,
+) -> IncrementalMeasurement {
+    let engine = BatchEngine::new();
+    let k = instance.k;
+    let mode = AggregationMode::Sum;
+    let epochs = instance.epochs.len();
+    let mut incremental = Duration::ZERO;
+    let mut recompute = Duration::ZERO;
+    let mut repaired_total = 0usize;
+    for rep in 0..reps {
+        // Incremental arm: one long-lived matrix + cache + subscription.
+        let mut catalog = base.clone();
+        let mut matrix = WorkforceMatrix::compute_with_catalog(
+            &instance.standing,
+            &catalog,
+            &instance.models,
+            rule,
+        )
+        .expect("churn instances model every strategy");
+        let mut cache = AggregationCache::new(k, mode);
+        cache.prime(&matrix);
+        let sub = catalog.subscribe_delta();
+        let mut model_buf = Vec::new();
+        for i in 0..epochs {
+            instance.apply_epoch(i, &mut catalog);
+            let started = Instant::now();
+            let delta = catalog.take_delta(&sub);
+            engine
+                .apply_matrix_delta(
+                    &mut matrix,
+                    &delta,
+                    &instance.standing,
+                    &catalog,
+                    &instance.models,
+                    rule,
+                    &mut model_buf,
+                )
+                .expect("deltas are drained and applied in lockstep");
+            repaired_total += cache.repair(&matrix, &delta);
+            incremental += started.elapsed();
+        }
+        // Parity guard (outside the timed region): the incrementally
+        // maintained state must equal a fresh recompute, or the comparison
+        // is meaningless.
+        if rep == 0 {
+            let fresh = WorkforceMatrix::compute_with_catalog(
+                &instance.standing,
+                &catalog,
+                &instance.models,
+                rule,
+            )
+            .unwrap();
+            assert_eq!(matrix, fresh, "incremental matrix diverged");
+            assert_eq!(
+                cache.requirements(),
+                &fresh.aggregate(k, mode)[..],
+                "incremental aggregation diverged"
+            );
+        }
+
+        // Recompute arm: rebuild matrix + aggregation from scratch per epoch.
+        let mut catalog = base.clone();
+        let mut model_buf = Vec::new();
+        for i in 0..epochs {
+            instance.apply_epoch(i, &mut catalog);
+            let started = Instant::now();
+            let matrix = WorkforceMatrix::compute_with_catalog_scratch(
+                &instance.standing,
+                &catalog,
+                &instance.models,
+                rule,
+                &mut model_buf,
+            )
+            .unwrap();
+            let requirements = matrix.aggregate(k, mode);
+            recompute += started.elapsed();
+            black_box(requirements);
+        }
+    }
+    let samples = (reps * epochs) as f64;
+    IncrementalMeasurement {
+        incremental_ns_per_epoch: incremental.as_nanos() as f64 / samples,
+        recompute_ns_per_epoch: recompute.as_nanos() as f64 / samples,
+        repaired_rows_per_epoch: repaired_total as f64 / samples,
+        epochs,
+        rows: instance.standing.len(),
+    }
+}
+
+/// Delta-maintained matrix + lazily repaired aggregation vs the per-epoch
+/// full recompute, at the paper's scale. Reports the maintenance-step cost
+/// per epoch (stderr) and emits the machine-readable
+/// `BENCH_incremental.json` at the workspace root so future PRs can track
+/// the regression trajectory.
+fn bench_incremental_vs_recompute(c: &mut Criterion) {
+    let configs = [
+        IncrementalConfig {
+            label: "1pct_params",
+            churn_pct: 1,
+            compact: CompactPolicy::Never,
+            rule: EligibilityRule::StrategyParameters,
+        },
+        IncrementalConfig {
+            label: "1pct_model_only",
+            churn_pct: 1,
+            compact: CompactPolicy::Never,
+            rule: EligibilityRule::ModelOnly,
+        },
+        IncrementalConfig {
+            label: "1pct_compact_every_2",
+            churn_pct: 1,
+            compact: CompactPolicy::EveryNEpochs(2),
+            rule: EligibilityRule::StrategyParameters,
+        },
+        IncrementalConfig {
+            label: "5pct_params",
+            churn_pct: 5,
+            compact: CompactPolicy::Never,
+            rule: EligibilityRule::StrategyParameters,
+        },
+        IncrementalConfig {
+            label: "10pct_params",
+            churn_pct: 10,
+            compact: CompactPolicy::Never,
+            rule: EligibilityRule::StrategyParameters,
+        },
+    ];
+    let smoke = std::env::var_os("STRATREC_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0");
+    let reps = if smoke { 1 } else { 5 };
+
+    let mut group = c.benchmark_group("incremental_vs_recompute");
+    group.sample_size(10);
+    let mut json_rows = Vec::new();
+    for config in &configs {
+        let instance = ChurnScenario {
+            epochs: 5,
+            compact: config.compact,
+            ..paper_scale_scenario(config.churn_pct as f64 / 100.0)
+        }
+        .materialize();
+        let base = instance.catalog(RebuildPolicy::default());
+
+        let measured = measure_incremental(&instance, &base, config.rule, reps);
+        let speedup = measured.recompute_ns_per_epoch / measured.incremental_ns_per_epoch;
+        eprintln!(
+            "incremental_vs_recompute/{}: recompute {:.3} ms/epoch, incremental {:.3} ms/epoch \
+             ({speedup:.1}x), {:.1}/{} aggregation rows repaired per epoch",
+            config.label,
+            measured.recompute_ns_per_epoch / 1e6,
+            measured.incremental_ns_per_epoch / 1e6,
+            measured.repaired_rows_per_epoch,
+            measured.rows,
+        );
+        json_rows.push(format!(
+            "    {{\"config\": \"{}\", \"churn_pct\": {}, \"compact\": \"{}\", \"rule\": \"{}\", \
+             \"epochs\": {}, \"rows\": {}, \"recompute_ns_per_epoch\": {:.0}, \
+             \"incremental_ns_per_epoch\": {:.0}, \"speedup\": {:.2}, \
+             \"repaired_rows_per_epoch\": {:.2}}}",
+            config.label,
+            config.churn_pct,
+            match config.compact {
+                CompactPolicy::Never => "never".to_string(),
+                CompactPolicy::EveryNEpochs(n) => format!("every_{n}_epochs"),
+                CompactPolicy::TombstoneRatio(r) => format!("tombstone_ratio_{r}"),
+            },
+            match config.rule {
+                EligibilityRule::StrategyParameters => "strategy_parameters",
+                EligibilityRule::ModelOnly => "model_only",
+            },
+            measured.epochs,
+            measured.rows,
+            measured.recompute_ns_per_epoch,
+            measured.incremental_ns_per_epoch,
+            speedup,
+            measured.repaired_rows_per_epoch,
+        ));
+
+        // Criterion-visible wrappers (smoke coverage + regression timing of
+        // the whole maintenance loop, churn included, both disciplines).
+        group.bench_with_input(
+            BenchmarkId::new("incremental", config.label),
+            &instance,
+            |b, instance| {
+                let matrix = WorkforceMatrix::compute_with_catalog(
+                    &instance.standing,
+                    &base,
+                    &instance.models,
+                    config.rule,
+                )
+                .unwrap();
+                let mut cache = AggregationCache::new(instance.k, AggregationMode::Sum);
+                cache.prime(&matrix);
+                let mut seeded = base.clone();
+                let sub = seeded.subscribe_delta();
+                let engine = BatchEngine::new();
+                let mut model_buf = Vec::new();
+                b.iter(|| {
+                    let mut catalog = seeded.clone();
+                    let mut matrix = matrix.clone();
+                    let mut cache = cache.clone();
+                    let mut repaired = 0usize;
+                    for i in 0..instance.epochs.len() {
+                        instance.apply_epoch(i, &mut catalog);
+                        let delta = catalog.take_delta(&sub);
+                        engine
+                            .apply_matrix_delta(
+                                &mut matrix,
+                                &delta,
+                                &instance.standing,
+                                &catalog,
+                                &instance.models,
+                                config.rule,
+                                &mut model_buf,
+                            )
+                            .unwrap();
+                        repaired += cache.repair(&matrix, &delta);
+                    }
+                    black_box((repaired, matrix.cols()))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute", config.label),
+            &instance,
+            |b, instance| {
+                let mut model_buf = Vec::new();
+                b.iter(|| {
+                    let mut catalog = base.clone();
+                    let mut served = 0usize;
+                    for i in 0..instance.epochs.len() {
+                        instance.apply_epoch(i, &mut catalog);
+                        let matrix = WorkforceMatrix::compute_with_catalog_scratch(
+                            &instance.standing,
+                            &catalog,
+                            &instance.models,
+                            config.rule,
+                            &mut model_buf,
+                        )
+                        .unwrap();
+                        served += matrix
+                            .aggregate(instance.k, AggregationMode::Sum)
+                            .iter()
+                            .flatten()
+                            .count();
+                    }
+                    black_box(served)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Machine-readable trajectory for future PRs: one JSON file at the
+    // workspace root, regenerated by every bench run (including the CI
+    // smoke job, whose numbers are 1-rep and only indicative).
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_vs_recompute\",\n  \"scenario\": {{\"initial_strategies\": 10000, \
+         \"epochs\": 5, \"standing_rows\": 10, \"k\": 10}},\n  \"smoke\": {smoke},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    // Fail loudly: a silent write failure would let CI archive the stale
+    // committed copy as if it were this run's trajectory.
+    std::fs::write(path, json).unwrap_or_else(|error| panic!("could not write {path}: {error}"));
+}
+
 criterion_group!(
     benches,
     bench_rebuild_vs_overlay,
     bench_maintenance_primitive,
-    bench_compaction_loop
+    bench_compaction_loop,
+    bench_incremental_vs_recompute
 );
 criterion_main!(benches);

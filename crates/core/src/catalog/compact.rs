@@ -47,6 +47,23 @@ pub struct SlotRemap {
 }
 
 impl SlotRemap {
+    /// Builds a remap from raw parts — used by the delta trackers
+    /// ([`super::delta`]) to compose consecutive compaction remaps into a
+    /// single subscriber-scoped remap.
+    pub(super) fn from_parts(
+        forward: Vec<Option<usize>>,
+        live_len: usize,
+        source_epoch: u64,
+        target_epoch: u64,
+    ) -> Self {
+        Self {
+            forward,
+            live_len,
+            source_epoch,
+            target_epoch,
+        }
+    }
+
     /// Number of pre-compaction slots the remap covers.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -158,12 +175,14 @@ impl StrategyCatalog {
         self.epoch += 1;
         self.merges += 1;
         self.packed = true;
-        SlotRemap {
+        let remap = SlotRemap {
             forward,
             live_len,
             source_epoch,
             target_epoch: self.epoch,
-        }
+        };
+        self.delta_note_compact(&remap);
+        remap
     }
 }
 

@@ -45,6 +45,14 @@
 //!    epoch and returns a [`SlotRemap`] every holder of old slot numbers
 //!    applies ([`crate::workforce::WorkforceMatrix::remap_columns`],
 //!    [`crate::adpar::AdparSolution::remap`]).
+//! 4. **Delta feed** ([`delta`]) — derived state that would otherwise be
+//!    recomputed per epoch (the workforce matrix and its aggregation)
+//!    subscribes to the catalog's churn: [`Self::subscribe_delta`] /
+//!    [`Self::take_delta`] hand each consumer exactly the slots inserted
+//!    and retired since it last synchronized as a [`CatalogDelta`],
+//!    composing the [`SlotRemap`] of any interleaved [`Self::compact`] into
+//!    the window, so maintenance work is proportional to the churn rather
+//!    than to `|S|`.
 //!
 //! [`Self::epoch`] increments on every mutation — compaction included — and
 //! is captured by catalog-backed [`crate::adpar::AdparProblem`]s; a problem
@@ -62,9 +70,11 @@
 
 mod axis;
 mod compact;
+mod delta;
 mod overlay;
 
 pub use compact::SlotRemap;
+pub use delta::{CatalogDelta, DeltaSubscription};
 
 use serde::{Deserialize, Serialize};
 use stratrec_geometry::{Aabb3, Point3, RTree};
@@ -175,6 +185,9 @@ pub struct StrategyCatalog {
     /// call. Restored whenever the tail empties (merge, rebuild, compaction
     /// or retiring the last tail slot).
     axis_tail_sorted: bool,
+    /// Per-subscriber churn accumulation for delta-maintained derived state
+    /// ([`delta`]); `None` entries are released ids awaiting reuse.
+    subscriptions: Vec<Option<delta::DeltaTracker>>,
 }
 
 /// Margin added to eligibility query boxes so the R-tree pass is a strict
@@ -219,6 +232,7 @@ impl StrategyCatalog {
             axis_base,
             axis_tail: [Vec::new(), Vec::new(), Vec::new()],
             axis_tail_sorted: true,
+            subscriptions: Vec::new(),
         }
     }
 

@@ -59,6 +59,7 @@ impl StrategyCatalog {
         } else {
             self.pending_tombstones.push(slot);
         }
+        self.delta_note_retire(slot);
         self.epoch += 1;
         self.maybe_merge();
         true

@@ -31,10 +31,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::adpar::{AdparExact, AdparProblem, AdparSolution, SolveScratch};
-use crate::catalog::StrategyCatalog;
+use crate::catalog::{CatalogDelta, StrategyCatalog};
 use crate::error::StratRecError;
 use crate::model::DeploymentRequest;
-use crate::modeling::ModelLibrary;
+use crate::modeling::{ModelLibrary, StrategyModel};
 use crate::workforce::{self, EligibilityRule, WorkforceMatrix};
 
 /// A scoped-thread batch executor. Cheap to copy and hold inside
@@ -104,6 +104,25 @@ impl BatchEngine {
         models: &ModelLibrary,
         rule: EligibilityRule,
     ) -> Result<WorkforceMatrix, StratRecError> {
+        let mut model_buf = Vec::new();
+        self.workforce_matrix_with_scratch(requests, catalog, models, rule, &mut model_buf)
+    }
+
+    /// [`Self::workforce_matrix`] reusing a caller-provided model buffer
+    /// (`workforce::collect_live_models_into`), so repeated batch
+    /// computations do zero model-collection allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::workforce_matrix`].
+    pub fn workforce_matrix_with_scratch(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<WorkforceMatrix, StratRecError> {
         // Rows are slot-shaped: one column per catalog slot, so row width —
         // and the whole cell buffer — tracks `slot_count`, which a
         // `compact()` snaps back to `len()` (the live count). Long-lived
@@ -114,13 +133,15 @@ impl BatchEngine {
         if threads < 2 || cols == 0 {
             // One worker (or nothing to shard): the sequential path IS the
             // engine's semantics, so delegate rather than duplicate it.
-            return WorkforceMatrix::compute_with_catalog(requests, catalog, models, rule);
+            return WorkforceMatrix::compute_with_catalog_scratch(
+                requests, catalog, models, rule, model_buf,
+            );
         }
-        let strategy_models = workforce::collect_live_models(catalog, models)?;
+        workforce::collect_live_models_into(catalog, models, model_buf)?;
         let mut cells = vec![f64::INFINITY; requests.len() * cols];
         {
             let rows_per_chunk = requests.len().div_ceil(threads);
-            let strategy_models = &strategy_models;
+            let strategy_models = &*model_buf;
             std::thread::scope(|scope| {
                 for (chunk_requests, chunk_cells) in requests
                     .chunks(rows_per_chunk)
@@ -143,6 +164,68 @@ impl BatchEngine {
             });
         }
         Ok(WorkforceMatrix::from_cells(requests.len(), cols, cells))
+    }
+
+    /// Applies a [`CatalogDelta`] to a long-lived workforce matrix
+    /// ([`WorkforceMatrix::apply_delta`] semantics, bit-identical result),
+    /// sharding the inserted-column model fill — the only `O(n · churn)`
+    /// model-evaluation work — across scoped threads in contiguous row
+    /// chunks, each thread owning a disjoint `&mut` slice of the cell
+    /// buffer. The structural steps (remap, widening, retired-column `∞`
+    /// writes) are pure `memmove`-class work and stay sequential. The model
+    /// buffer is a reusable scratch (`workforce::collect_slot_models_into`
+    /// over the inserted slots), so steady-state epochs allocate nothing for
+    /// model collection.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkforceMatrix::apply_delta`]; a failed apply leaves the matrix
+    /// unchanged.
+    // One argument per pipeline ingredient, mirroring
+    // `WorkforceMatrix::apply_delta_with_scratch`; bundling them would only
+    // add a struct the two call sites immediately unpack.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_matrix_delta(
+        &self,
+        matrix: &mut WorkforceMatrix,
+        delta: &CatalogDelta,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<(), StratRecError> {
+        let threads = self.effective_threads(requests.len());
+        if threads < 2 || delta.inserted.is_empty() {
+            return matrix
+                .apply_delta_with_scratch(delta, requests, catalog, models, rule, model_buf);
+        }
+        matrix.apply_delta_structure(delta, requests, catalog, models, model_buf)?;
+        let cols = matrix.cols();
+        let rows_per_chunk = requests.len().div_ceil(threads);
+        let inserted = &delta.inserted;
+        let inserted_models = &*model_buf;
+        let cells = matrix.cells_mut();
+        std::thread::scope(|scope| {
+            for (chunk_requests, chunk_cells) in requests
+                .chunks(rows_per_chunk)
+                .zip(cells.chunks_mut(rows_per_chunk * cols))
+            {
+                scope.spawn(move || {
+                    for (request, row) in chunk_requests.iter().zip(chunk_cells.chunks_mut(cols)) {
+                        workforce::fill_inserted_cells(
+                            request,
+                            catalog,
+                            inserted,
+                            inserted_models,
+                            rule,
+                            row,
+                        );
+                    }
+                });
+            }
+        });
+        Ok(())
     }
 
     /// Solves one catalog-backed ADPaR problem per entry of
@@ -346,6 +429,108 @@ mod tests {
         assert!(BatchEngine::new()
             .solve_adpar_batch(&requests, &catalog, &[], 3)
             .is_empty());
+    }
+
+    #[test]
+    fn engine_delta_apply_matches_sequential_and_fresh_for_every_thread_count() {
+        // Build a wider churn fixture so multiple row chunks exist, churn
+        // it over several windows (one of them compacting), and pin the
+        // engine-applied matrix against both the sequentially-applied one
+        // and a fresh recompute, for every thread count.
+        let strategies: Vec<crate::model::Strategy> = (0..30)
+            .map(|i| {
+                crate::model::Strategy::from_params(
+                    i,
+                    crate::model::DeploymentParameters::clamped(
+                        0.3 + (i as f64 * 0.13) % 0.6,
+                        0.2 + (i as f64 * 0.29) % 0.7,
+                        0.1 + (i as f64 * 0.17) % 0.8,
+                    ),
+                )
+            })
+            .collect();
+        let mut models = ModelLibrary::from_pairs(strategies.iter().map(|s| {
+            let alpha = 0.4 + (s.id.0 % 40) as f64 / 100.0;
+            (
+                s.id,
+                crate::modeling::StrategyModel::uniform(alpha, 1.0 - alpha),
+            )
+        }));
+        let requests: Vec<DeploymentRequest> = (0..9)
+            .map(|i| {
+                crate::model::DeploymentRequest::new(
+                    i,
+                    crate::model::TaskType::SentenceTranslation,
+                    crate::model::DeploymentParameters::clamped(
+                        0.2 + (i as f64) * 0.08,
+                        0.95 - (i as f64) * 0.05,
+                        0.9 - (i as f64) * 0.04,
+                    ),
+                )
+            })
+            .collect();
+        for rule in [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ] {
+            let mut catalog = StrategyCatalog::with_policy(
+                strategies.clone(),
+                crate::catalog::RebuildPolicy::threshold(3),
+            );
+            let base =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            let sub = catalog.subscribe_delta();
+            let engines = [0_usize, 1, 2, 3, 7];
+            let mut matrices: Vec<WorkforceMatrix> = engines.iter().map(|_| base.clone()).collect();
+            let mut next_id = 30_u64;
+            for window in 0..3 {
+                for _ in 0..4 {
+                    let strategy = crate::model::Strategy::from_params(
+                        next_id,
+                        crate::model::DeploymentParameters::clamped(
+                            0.4 + (next_id as f64 * 0.11) % 0.5,
+                            0.3 + (next_id as f64 * 0.23) % 0.6,
+                            0.2 + (next_id as f64 * 0.31) % 0.7,
+                        ),
+                    );
+                    let alpha = 0.4 + (next_id % 40) as f64 / 100.0;
+                    models.insert(
+                        strategy.id,
+                        crate::modeling::StrategyModel::uniform(alpha, 1.0 - alpha),
+                    );
+                    catalog.insert(strategy);
+                    next_id += 1;
+                }
+                let live = catalog.live_indices();
+                assert!(catalog.retire(live[(window * 5) % live.len()]));
+                assert!(catalog.retire(live[(window * 11 + 3) % live.len()]));
+                if window == 1 {
+                    catalog.compact();
+                }
+                let delta = catalog.take_delta(&sub);
+                let fresh =
+                    WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule)
+                        .unwrap();
+                for (&threads, matrix) in engines.iter().zip(&mut matrices) {
+                    let mut model_buf = Vec::new();
+                    BatchEngine::with_threads(threads)
+                        .apply_matrix_delta(
+                            matrix,
+                            &delta,
+                            &requests,
+                            &catalog,
+                            &models,
+                            rule,
+                            &mut model_buf,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        matrix, &fresh,
+                        "{rule:?}, window {window}, {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

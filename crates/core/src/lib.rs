@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crate::batch::{
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
-    pub use crate::catalog::{RebuildPolicy, SlotRemap, StrategyCatalog};
+    pub use crate::catalog::{
+        CatalogDelta, DeltaSubscription, RebuildPolicy, SlotRemap, StrategyCatalog,
+    };
     pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;
     pub use crate::model::{
@@ -84,8 +86,8 @@ pub mod prelude {
         Structure, Style, TaskType,
     };
     pub use crate::modeling::{LinearModel, ModelLibrary, ParameterKind, StrategyModel};
-    pub use crate::stratrec::{StratRec, StratRecConfig, StratRecReport};
+    pub use crate::stratrec::{StratRec, StratRecConfig, StratRecReport, StratRecSession};
     pub use crate::workforce::{
-        AggregationMode, EligibilityRule, RequestRequirement, WorkforceMatrix,
+        AggregationCache, AggregationMode, EligibilityRule, RequestRequirement, WorkforceMatrix,
     };
 }

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 use stratrec_optim::topk::{self, TopKScratch};
 
-use crate::catalog::{SlotRemap, StrategyCatalog};
+use crate::catalog::{CatalogDelta, SlotRemap, StrategyCatalog};
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
 use crate::modeling::{ModelLibrary, StrategyModel};
@@ -164,6 +164,24 @@ impl WorkforceMatrix {
         models: &ModelLibrary,
         rule: EligibilityRule,
     ) -> Result<Self, StratRecError> {
+        let mut model_buf = Vec::new();
+        Self::compute_with_catalog_scratch(requests, catalog, models, rule, &mut model_buf)
+    }
+
+    /// [`Self::compute_with_catalog`] reusing a caller-provided model buffer
+    /// ([`collect_live_models_into`]), so repeated computations allocate no
+    /// model-collection memory in steady state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compute_with_catalog`].
+    pub fn compute_with_catalog_scratch(
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<Self, StratRecError> {
         let strategies = catalog.strategies();
         if requests.is_empty() {
             return Ok(Self {
@@ -172,11 +190,11 @@ impl WorkforceMatrix {
                 cells: Vec::new(),
             });
         }
-        let strategy_models = collect_live_models(catalog, models)?;
+        collect_live_models_into(catalog, models, model_buf)?;
         let cols = strategies.len();
         let mut cells = vec![f64::INFINITY; requests.len() * cols];
         for (request, row) in requests.iter().zip(cells.chunks_mut(cols.max(1))) {
-            fill_catalog_row(request, catalog, &strategy_models, rule, row);
+            fill_catalog_row(request, catalog, model_buf, rule, row);
         }
         Ok(Self {
             rows: requests.len(),
@@ -210,15 +228,49 @@ impl WorkforceMatrix {
     }
 
     /// The workforce requirement of deploying request `i` with strategy `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `request >= self.rows()` or `strategy >= self.cols()`
+    /// (with full row/column context in debug builds).
     #[must_use]
     pub fn get(&self, request: usize, strategy: usize) -> f64 {
+        debug_assert!(
+            request < self.rows,
+            "request row {request} out of bounds for a {}x{} workforce matrix",
+            self.rows,
+            self.cols
+        );
+        debug_assert!(
+            strategy < self.cols,
+            "strategy column {strategy} out of bounds for a {}x{} workforce matrix",
+            self.rows,
+            self.cols
+        );
         self.cells[request * self.cols + strategy]
     }
 
     /// The full row of request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `request >= self.rows()` (with full row context in debug
+    /// builds).
     #[must_use]
     pub fn row(&self, request: usize) -> &[f64] {
+        debug_assert!(
+            request < self.rows,
+            "request row {request} out of bounds for a {}x{} workforce matrix",
+            self.rows,
+            self.cols
+        );
         &self.cells[request * self.cols..(request + 1) * self.cols]
+    }
+
+    /// Mutable view of the row-major cell buffer — for
+    /// [`crate::engine::BatchEngine`]'s row-sharded fills.
+    pub(crate) fn cells_mut(&mut self) -> &mut [f64] {
+        &mut self.cells
     }
 
     /// Renumbers the matrix columns through a catalog compaction's
@@ -257,6 +309,139 @@ impl WorkforceMatrix {
         }
     }
 
+    /// Applies a [`CatalogDelta`] drained from the catalog this matrix was
+    /// computed over, bringing it to the state a fresh
+    /// [`Self::compute_with_catalog`] over the **updated** catalog would
+    /// produce — bit for bit (pinned by the `tests/catalog_churn.rs`
+    /// replay) — while touching only the changed columns:
+    ///
+    /// 1. the window's composed compaction remap (if any) renumbers the
+    ///    columns ([`Self::remap_columns`], shedding reclaimed slots);
+    /// 2. one column is appended per inserted slot and **only those**
+    ///    columns are computed (eligibility by the exact per-strategy
+    ///    predicate, the model inversion per eligible cell); slots retired
+    ///    again within the window append as all-`∞`;
+    /// 3. `f64::INFINITY` is written into the retired columns in place.
+    ///
+    /// The missing-model contract is enforced for the **inserted** live
+    /// slots (pre-existing columns were validated when first computed), and
+    /// the check runs before any mutation, so a failed apply leaves the
+    /// matrix unchanged. An empty request batch never consults the model
+    /// library, exactly like the fresh-compute path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::StaleCatalog`] when `delta.to_epoch` is not
+    /// the catalog's current epoch (the delta was not drained against this
+    /// catalog state), and [`StratRecError::MissingModel`] when an inserted
+    /// live slot has no fitted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix shape does not match `requests` and the
+    /// delta's source slot count.
+    pub fn apply_delta(
+        &mut self,
+        delta: &CatalogDelta,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+    ) -> Result<(), StratRecError> {
+        let mut model_buf = Vec::new();
+        self.apply_delta_with_scratch(delta, requests, catalog, models, rule, &mut model_buf)
+    }
+
+    /// [`Self::apply_delta`] reusing a caller-provided model buffer
+    /// ([`collect_slot_models_into`] over the inserted slots), so
+    /// steady-state epochs do zero model-collection allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_delta`].
+    pub fn apply_delta_with_scratch(
+        &mut self,
+        delta: &CatalogDelta,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<(), StratRecError> {
+        self.apply_delta_structure(delta, requests, catalog, models, model_buf)?;
+        let cols = self.cols;
+        for (request, row) in requests.iter().zip(self.cells.chunks_mut(cols.max(1))) {
+            fill_inserted_cells(request, catalog, &delta.inserted, model_buf, rule, row);
+        }
+        Ok(())
+    }
+
+    /// Everything of [`Self::apply_delta`] except the inserted-cell model
+    /// fill: validation, model collection (into `model_buf`, parallel to
+    /// `delta.inserted`), the remap, the widening and the retired-column
+    /// `∞` writes. [`crate::engine::BatchEngine::apply_matrix_delta`] runs
+    /// this sequentially and shards the remaining fill across threads.
+    pub(crate) fn apply_delta_structure(
+        &mut self,
+        delta: &CatalogDelta,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<(), StratRecError> {
+        if delta.to_epoch != catalog.epoch() {
+            return Err(StratRecError::StaleCatalog {
+                expected: delta.to_epoch,
+                found: catalog.epoch(),
+            });
+        }
+        assert_eq!(
+            self.rows,
+            requests.len(),
+            "request count must equal the matrix row count"
+        );
+        assert_eq!(
+            self.cols, delta.source_cols,
+            "matrix width must equal the delta's source slot count"
+        );
+        // Enforce the missing-model contract before any mutation, so a
+        // failed apply leaves the matrix untouched. The fresh-compute path
+        // never consults the library for an empty batch; neither does this.
+        model_buf.clear();
+        if !requests.is_empty() {
+            collect_slot_models_into(catalog, models, &delta.inserted, model_buf)?;
+        }
+        if let Some(remap) = &delta.remap {
+            *self = self.remap_columns(remap);
+        }
+        debug_assert_eq!(self.cols + delta.inserted.len(), delta.target_cols);
+        self.widen(delta.target_cols);
+        for row in 0..self.rows {
+            let base = row * self.cols;
+            for &slot in &delta.retired {
+                self.cells[base + slot] = f64::INFINITY;
+            }
+        }
+        Ok(())
+    }
+
+    /// Grows the matrix to `new_cols` columns in place (backward row
+    /// shifts), initializing the appended cells to `f64::INFINITY`.
+    fn widen(&mut self, new_cols: usize) {
+        let old_cols = self.cols;
+        debug_assert!(new_cols >= old_cols, "widen never shrinks");
+        if new_cols == old_cols {
+            return;
+        }
+        self.cells.resize(self.rows * new_cols, f64::INFINITY);
+        for row in (0..self.rows).rev() {
+            self.cells
+                .copy_within(row * old_cols..(row + 1) * old_cols, row * new_cols);
+            self.cells[row * new_cols + old_cols..(row + 1) * new_cols].fill(f64::INFINITY);
+        }
+        self.cols = new_cols;
+    }
+
     /// Aggregates each row into a per-request requirement over the `k`
     /// cheapest strategies (paper §3.2 step 2, the vector `~W`).
     ///
@@ -273,61 +458,282 @@ impl WorkforceMatrix {
         let mut scratch = TopKScratch::new();
         let mut selected: Vec<usize> = Vec::new();
         (0..self.rows)
-            .map(|i| {
-                let row = self.row(i);
-                topk::k_smallest_indices_into(row, k, &mut scratch, &mut selected);
-                if selected.len() < k || k == 0 {
-                    return None;
-                }
-                let workforce = match mode {
-                    AggregationMode::Sum => selected.iter().map(|&j| row[j]).sum(),
-                    AggregationMode::Max => {
-                        row[*selected
-                            .last()
-                            .expect("k >= 1 so the selection is non-empty")]
-                    }
-                };
-                Some(RequestRequirement {
-                    request_index: i,
-                    strategy_indices: selected.clone(),
-                    workforce,
-                })
-            })
+            .map(|i| aggregate_row(self.row(i), i, k, mode, &mut scratch, &mut selected))
             .collect()
     }
 }
 
-/// Hoists the per-cell model lookups of the scan path into one id-indexed
-/// pass; this also enforces the missing-model contract for every **live**
-/// slot. Retired slots keep a `None` placeholder: their model may have been
-/// dropped from the library along with the strategy.
-pub(crate) fn collect_live_models<'m>(
-    catalog: &StrategyCatalog,
-    models: &'m ModelLibrary,
-) -> Result<Vec<Option<&'m StrategyModel>>, StratRecError> {
-    catalog
-        .strategies()
-        .iter()
-        .enumerate()
-        .map(|(slot, s)| {
-            if catalog.is_live(slot) {
-                models.require(s.id).map(Some)
-            } else {
-                Ok(None)
+/// Aggregates one matrix row (the shared primitive of
+/// [`WorkforceMatrix::aggregate`] and [`AggregationCache::repair`], so the
+/// full and the repaired paths are the same code — bit-identical by
+/// construction).
+fn aggregate_row(
+    row: &[f64],
+    request_index: usize,
+    k: usize,
+    mode: AggregationMode,
+    scratch: &mut TopKScratch,
+    selected: &mut Vec<usize>,
+) -> Option<RequestRequirement> {
+    topk::k_smallest_indices_into(row, k, scratch, selected);
+    if selected.len() < k || k == 0 {
+        return None;
+    }
+    let workforce = match mode {
+        AggregationMode::Sum => selected.iter().map(|&j| row[j]).sum(),
+        AggregationMode::Max => {
+            row[*selected
+                .last()
+                .expect("k >= 1 so the selection is non-empty")]
+        }
+    };
+    Some(RequestRequirement {
+        request_index,
+        strategy_indices: selected.clone(),
+        workforce,
+    })
+}
+
+/// Cached per-row top-k aggregations of a delta-maintained
+/// [`WorkforceMatrix`], repaired lazily under churn.
+///
+/// [`WorkforceMatrix::aggregate`] walks all `m · |S|` cells; under churn
+/// only a few rows can actually change. After the matrix absorbed a
+/// [`CatalogDelta`] ([`WorkforceMatrix::apply_delta`]), [`Self::repair`]
+/// re-aggregates a row **only when the delta can have moved its top-k**:
+///
+/// * a retired column intersects the row's current top-k (one of its
+///   recommended cells just became `∞`), or
+/// * an inserted column's cell beats the row's `k`-th value (a new strategy
+///   enters the top-k; ties lose — appended slots carry the largest
+///   indices, and selection tie-breaks by ascending index), or
+/// * the row was infeasible (fewer than `k` finite cells) and an inserted
+///   column is finite for it, or
+/// * a compaction reclaimed one of its recommended slots
+///   ([`RequestRequirement::remap`] answers `None`).
+///
+/// Everything else is provably unchanged and kept verbatim (surviving
+/// requirements are renumbered through the window's remap in place). The
+/// repaired state equals a fresh `aggregate` over the updated matrix bit
+/// for bit — same helper, same cells — pinned per churn step by the
+/// `tests/catalog_churn.rs` replay. The selection heap is a single
+/// [`TopKScratch`] reused across every repair.
+#[derive(Debug, Clone)]
+pub struct AggregationCache {
+    k: usize,
+    mode: AggregationMode,
+    /// Slot width of the matrix the cache last synchronized with.
+    cols: usize,
+    primed: bool,
+    requirements: Vec<Option<RequestRequirement>>,
+    scratch: TopKScratch,
+    selected: Vec<usize>,
+}
+
+impl AggregationCache {
+    /// An unprimed cache aggregating over the `k` cheapest strategies with
+    /// `mode`.
+    #[must_use]
+    pub fn new(k: usize, mode: AggregationMode) -> Self {
+        Self {
+            k,
+            mode,
+            cols: 0,
+            primed: false,
+            requirements: Vec::new(),
+            scratch: TopKScratch::new(),
+            selected: Vec::new(),
+        }
+    }
+
+    /// The cardinality constraint the cache aggregates with.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The aggregation mode the cache aggregates with.
+    #[must_use]
+    pub fn mode(&self) -> AggregationMode {
+        self.mode
+    }
+
+    /// Whether [`Self::prime`] has run (repairs need a baseline).
+    #[must_use]
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// The cached per-request requirements — identical to
+    /// `matrix.aggregate(k, mode)` over the matrix last primed/repaired
+    /// against. Empty before the first [`Self::prime`].
+    #[must_use]
+    pub fn requirements(&self) -> &[Option<RequestRequirement>] {
+        &self.requirements
+    }
+
+    /// Fully (re-)aggregates `matrix`, making it the cache's baseline.
+    pub fn prime(&mut self, matrix: &WorkforceMatrix) {
+        self.requirements.clear();
+        self.requirements.reserve(matrix.rows());
+        for i in 0..matrix.rows() {
+            self.requirements.push(aggregate_row(
+                matrix.row(i),
+                i,
+                self.k,
+                self.mode,
+                &mut self.scratch,
+                &mut self.selected,
+            ));
+        }
+        self.cols = matrix.cols();
+        self.primed = true;
+    }
+
+    /// Repairs the cache after `matrix` absorbed `delta`
+    /// ([`WorkforceMatrix::apply_delta`] with the same delta), re-aggregating
+    /// only the rows the delta can have changed. Returns the number of rows
+    /// re-aggregated — proportional to the churn, not to `m`, in steady
+    /// state. An unprimed cache falls back to a full [`Self::prime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache or the matrix do not line up with the delta
+    /// (wrong row count, cache synchronized at a different width, or the
+    /// matrix has not absorbed the delta yet).
+    pub fn repair(&mut self, matrix: &WorkforceMatrix, delta: &CatalogDelta) -> usize {
+        if !self.primed {
+            self.prime(matrix);
+            return matrix.rows();
+        }
+        assert_eq!(
+            self.requirements.len(),
+            matrix.rows(),
+            "cache row count must equal the matrix row count"
+        );
+        assert_eq!(
+            self.cols, delta.source_cols,
+            "cache was synchronized at a different slot width than the delta's source"
+        );
+        assert_eq!(
+            matrix.cols(),
+            delta.target_cols,
+            "the matrix must absorb the delta before the cache repairs"
+        );
+        let mut repaired = 0;
+        for i in 0..matrix.rows() {
+            // Step 1: follow the window's compaction remap. A reclaimed
+            // recommended slot means the row genuinely lost a strategy.
+            let mut lost_to_compaction = false;
+            if let Some(remap) = &delta.remap {
+                if let Some(requirement) = &self.requirements[i] {
+                    match requirement.remap(remap) {
+                        Some(renumbered) => self.requirements[i] = Some(renumbered),
+                        None => lost_to_compaction = true,
+                    }
+                }
             }
-        })
-        .collect()
+            // Step 2: decide whether the delta can have moved this row's
+            // top-k at all.
+            let row = matrix.row(i);
+            let dirty = lost_to_compaction
+                || match &self.requirements[i] {
+                    // An infeasible row can only become feasible through a
+                    // new finite cell.
+                    None => delta.inserted.iter().any(|&slot| row[slot].is_finite()),
+                    Some(requirement) => {
+                        let retired_hit = requirement
+                            .strategy_indices
+                            .iter()
+                            .any(|slot| delta.retired.binary_search(slot).is_ok());
+                        retired_hit || {
+                            // The k-th (largest) selected value; every
+                            // selected cell is untouched here, since no
+                            // retired column intersected the selection.
+                            let kth = row[*requirement
+                                .strategy_indices
+                                .last()
+                                .expect("a Some requirement selects k >= 1 strategies")];
+                            // Strict `<`: an inserted slot has a larger
+                            // index than every selected one (columns
+                            // append), so it loses value ties.
+                            delta.inserted.iter().any(|&slot| row[slot] < kth)
+                        }
+                    }
+                };
+            if dirty {
+                self.requirements[i] = aggregate_row(
+                    row,
+                    i,
+                    self.k,
+                    self.mode,
+                    &mut self.scratch,
+                    &mut self.selected,
+                );
+                repaired += 1;
+            }
+        }
+        self.cols = matrix.cols();
+        repaired
+    }
+}
+
+/// Hoists the per-cell model lookups of the scan path into one id-indexed
+/// pass over a caller-provided buffer (cleared first), so the per-batch /
+/// per-epoch paths — [`crate::engine::BatchEngine`] and the delta fill — do
+/// zero model-collection allocation in steady state. This also enforces the
+/// missing-model contract for every **live** slot. Retired slots keep a
+/// `None` placeholder: their model may have been dropped from the library
+/// along with the strategy. The buffer is parallel to the catalog slots.
+pub(crate) fn collect_live_models_into(
+    catalog: &StrategyCatalog,
+    models: &ModelLibrary,
+    out: &mut Vec<Option<StrategyModel>>,
+) -> Result<(), StratRecError> {
+    out.clear();
+    out.reserve(catalog.slot_count());
+    for (slot, strategy) in catalog.strategies().iter().enumerate() {
+        out.push(if catalog.is_live(slot) {
+            Some(*models.require(strategy.id)?)
+        } else {
+            None
+        });
+    }
+    Ok(())
+}
+
+/// The slot-subset variant of [`collect_live_models_into`]: collects the
+/// models of exactly `slots` (the buffer comes back parallel to `slots`,
+/// `None` for retired ones), enforcing the missing-model contract for the
+/// live ones. The delta fill uses this so per-epoch model collection is
+/// `O(churn)` instead of `O(|S|)`.
+pub(crate) fn collect_slot_models_into(
+    catalog: &StrategyCatalog,
+    models: &ModelLibrary,
+    slots: &[usize],
+    out: &mut Vec<Option<StrategyModel>>,
+) -> Result<(), StratRecError> {
+    out.clear();
+    out.reserve(slots.len());
+    for &slot in slots {
+        out.push(if catalog.is_live(slot) {
+            Some(*models.require(catalog.strategy(slot).id)?)
+        } else {
+            None
+        });
+    }
+    Ok(())
 }
 
 /// Fills one workforce-matrix row (pre-initialized to `f64::INFINITY`) for
 /// `request`: the unit of work sharded across threads by
 /// [`crate::engine::BatchEngine`] and run in a plain loop by
 /// [`WorkforceMatrix::compute_with_catalog`]. `strategy_models` comes from
-/// [`collect_live_models`] and is parallel to the catalog slots.
+/// [`collect_live_models_into`] and is parallel to the catalog slots.
 pub(crate) fn fill_catalog_row(
     request: &DeploymentRequest,
     catalog: &StrategyCatalog,
-    strategy_models: &[Option<&StrategyModel>],
+    strategy_models: &[Option<StrategyModel>],
     rule: EligibilityRule,
     row: &mut [f64],
 ) {
@@ -344,6 +750,39 @@ pub(crate) fn fill_catalog_row(
                     *cell = model.required_workforce(&request.params);
                 }
             }
+        }
+    }
+}
+
+/// Computes the cells of the freshly appended `inserted` columns in one
+/// (full-width, post-widening) matrix row: the unit of work sharded across
+/// threads by [`crate::engine::BatchEngine::apply_matrix_delta`] and run in
+/// a plain loop by [`WorkforceMatrix::apply_delta`]. `inserted_models` comes
+/// from [`collect_slot_models_into`] and is parallel to `inserted`; `None`
+/// entries (slots retired again within the window) leave their cell at
+/// `f64::INFINITY`. Eligibility uses the same exact epsilon-tolerant
+/// predicate as the R-tree query path, so the filled cells are identical to
+/// a fresh [`fill_catalog_row`] over the updated catalog.
+pub(crate) fn fill_inserted_cells(
+    request: &DeploymentRequest,
+    catalog: &StrategyCatalog,
+    inserted: &[usize],
+    inserted_models: &[Option<StrategyModel>],
+    rule: EligibilityRule,
+    row: &mut [f64],
+) {
+    for (&slot, model) in inserted.iter().zip(inserted_models) {
+        let Some(model) = model else {
+            continue; // retired within the window: the column stays infinite
+        };
+        let eligible = match rule {
+            EligibilityRule::StrategyParameters => {
+                catalog.strategy(slot).params.satisfies(&request.params)
+            }
+            EligibilityRule::ModelOnly => true,
+        };
+        if eligible {
+            row[slot] = model.required_workforce(&request.params);
         }
     }
 }
@@ -609,5 +1048,324 @@ mod tests {
         let matrix = WorkforceMatrix::compute(&requests, &strategies, &models).unwrap();
         assert!(matrix.get(0, 0).is_finite());
         assert!(matrix.get(0, 1).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "request row 3 out of bounds")]
+    fn get_reports_the_offending_row() {
+        let _ = WorkforceMatrix::from_cells(2, 2, vec![0.0; 4]).get(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy column 5 out of bounds")]
+    fn get_reports_the_offending_column() {
+        let _ = WorkforceMatrix::from_cells(2, 2, vec![0.0; 4]).get(1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "request row 2 out of bounds")]
+    fn row_reports_the_offending_row() {
+        let _ = WorkforceMatrix::from_cells(2, 2, vec![0.0; 4]).row(2);
+    }
+
+    /// A deterministic, id-varied model so churned matrices have a genuine
+    /// mix of finite / infinite cells and distinct top-k orders.
+    fn varied_model(id: u64) -> StrategyModel {
+        let alpha = 0.35 + ((id * 37) % 50) as f64 / 100.0;
+        StrategyModel::uniform(alpha, 1.0 - alpha)
+    }
+
+    fn varied_strategy(id: u64) -> Strategy {
+        let q = 0.3 + ((id * 13) % 60) as f64 / 100.0;
+        let c = 0.2 + ((id * 29) % 70) as f64 / 100.0;
+        let l = 0.1 + ((id * 17) % 80) as f64 / 100.0;
+        Strategy::from_params(id, DeploymentParameters::clamped(q, c, l))
+    }
+
+    /// Churned-window fixture: catalog + library + standing requests.
+    fn churn_fixture() -> (
+        crate::catalog::StrategyCatalog,
+        ModelLibrary,
+        Vec<DeploymentRequest>,
+    ) {
+        let strategies: Vec<Strategy> = (0..24).map(varied_strategy).collect();
+        let models =
+            ModelLibrary::from_pairs(strategies.iter().map(|s| (s.id, varied_model(s.id.0))));
+        let catalog = crate::catalog::StrategyCatalog::with_policy(
+            strategies,
+            crate::catalog::RebuildPolicy::threshold(4),
+        );
+        let requests = vec![
+            request(0, 0.55, 0.8, 0.8),
+            request(1, 0.8, 0.6, 0.7),
+            request(2, 0.2, 0.95, 0.95),
+            request(3, 0.95, 0.2, 0.2),
+        ];
+        (catalog, models, requests)
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_recompute_across_churn_and_compaction() {
+        for rule in [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ] {
+            let (mut catalog, mut models, requests) = churn_fixture();
+            let mut matrix =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            let mut cache_sum = AggregationCache::new(3, AggregationMode::Sum);
+            let mut cache_max = AggregationCache::new(3, AggregationMode::Max);
+            cache_sum.prime(&matrix);
+            cache_max.prime(&matrix);
+            let sub = catalog.subscribe_delta();
+            let mut next_id = 24_u64;
+            let mut model_buf = Vec::new();
+
+            // Five churn windows; the third and fifth compact mid-window.
+            for window in 0..5 {
+                for _ in 0..3 {
+                    let strategy = varied_strategy(next_id);
+                    models.insert(strategy.id, varied_model(next_id));
+                    catalog.insert(strategy);
+                    next_id += 1;
+                }
+                let live = catalog.live_indices();
+                assert!(catalog.retire(live[window % live.len()]));
+                assert!(catalog.retire(live[(window * 7 + 2) % live.len()]));
+                if window == 2 || window == 4 {
+                    catalog.compact();
+                    // Churn continues after the compaction, same window.
+                    let strategy = varied_strategy(next_id);
+                    models.insert(strategy.id, varied_model(next_id));
+                    catalog.insert(strategy);
+                    next_id += 1;
+                }
+
+                let delta = catalog.take_delta(&sub);
+                matrix
+                    .apply_delta_with_scratch(
+                        &delta,
+                        &requests,
+                        &catalog,
+                        &models,
+                        rule,
+                        &mut model_buf,
+                    )
+                    .unwrap();
+                let fresh =
+                    WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule)
+                        .unwrap();
+                assert_eq!(matrix, fresh, "{rule:?}, window {window}");
+
+                let repaired = cache_sum.repair(&matrix, &delta);
+                assert!(repaired <= matrix.rows(), "{rule:?}, window {window}");
+                cache_max.repair(&matrix, &delta);
+                assert_eq!(
+                    cache_sum.requirements(),
+                    &matrix.aggregate(3, AggregationMode::Sum)[..],
+                    "{rule:?}, window {window}, sum"
+                );
+                assert_eq!(
+                    cache_max.requirements(),
+                    &matrix.aggregate(3, AggregationMode::Max)[..],
+                    "{rule:?}, window {window}, max"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_a_delta_the_catalog_moved_past() {
+        let (mut catalog, models, requests) = churn_fixture();
+        let rule = EligibilityRule::StrategyParameters;
+        let mut matrix =
+            WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+        let sub = catalog.subscribe_delta();
+        assert!(catalog.retire(0));
+        let delta = catalog.take_delta(&sub);
+        // The catalog mutates again before the delta is applied.
+        assert!(catalog.retire(1));
+        let before = matrix.clone();
+        assert!(matches!(
+            matrix.apply_delta(&delta, &requests, &catalog, &models, rule),
+            Err(StratRecError::StaleCatalog { .. })
+        ));
+        assert_eq!(matrix, before, "a failed apply must not mutate the matrix");
+    }
+
+    #[test]
+    fn apply_delta_missing_inserted_model_fails_before_mutating() {
+        let (mut catalog, models, requests) = churn_fixture();
+        let rule = EligibilityRule::StrategyParameters;
+        let mut matrix =
+            WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+        let sub = catalog.subscribe_delta();
+        catalog.insert(varied_strategy(999)); // no model registered
+        assert!(catalog.retire(0));
+        let delta = catalog.take_delta(&sub);
+        let before = matrix.clone();
+        assert!(matches!(
+            matrix.apply_delta(&delta, &requests, &catalog, &models, rule),
+            Err(StratRecError::MissingModel { strategy: 999 })
+        ));
+        assert_eq!(matrix, before);
+    }
+
+    #[test]
+    fn empty_deltas_and_empty_batches_apply_cleanly() {
+        let (mut catalog, models, _) = churn_fixture();
+        let rule = EligibilityRule::StrategyParameters;
+        // Zero-row matrices still track the column count through a delta,
+        // without ever consulting the model library.
+        let empty_models = ModelLibrary::new();
+        let mut matrix =
+            WorkforceMatrix::compute_with_catalog(&[], &catalog, &empty_models, rule).unwrap();
+        let sub = catalog.subscribe_delta();
+        let noop = catalog.take_delta(&sub);
+        assert!(noop.is_empty());
+        matrix
+            .apply_delta(&noop, &[], &catalog, &empty_models, rule)
+            .unwrap();
+        catalog.insert(varied_strategy(500));
+        assert!(catalog.retire(3));
+        let delta = catalog.take_delta(&sub);
+        matrix
+            .apply_delta(&delta, &[], &catalog, &empty_models, rule)
+            .unwrap();
+        assert_eq!(matrix.rows(), 0);
+        assert_eq!(matrix.cols(), catalog.slot_count());
+        let _ = models;
+    }
+
+    #[test]
+    fn cache_repair_skips_rows_the_delta_cannot_have_changed() {
+        // Two rows over four slots; the churn only touches slots outside
+        // row 0's top-2 and only beats row 1's k-th value.
+        let mut matrix = WorkforceMatrix::from_cells(
+            2,
+            4,
+            vec![
+                0.1, 0.2, 0.9, 0.8, // row 0: top-2 = {0, 1}
+                0.7, 0.6, 0.5, 0.4, // row 1: top-2 = {3, 2}
+            ],
+        );
+        let catalog_stub =
+            |retired: Vec<usize>, inserted: Vec<usize>| crate::catalog::CatalogDelta {
+                from_epoch: 0,
+                to_epoch: 1,
+                source_cols: 4,
+                target_cols: 4 + inserted.len(),
+                remap: None,
+                inserted,
+                retired,
+            };
+        let mut cache = AggregationCache::new(2, AggregationMode::Sum);
+        cache.prime(&matrix);
+        assert!(cache.is_primed());
+        assert_eq!(cache.k(), 2);
+        assert_eq!(cache.mode(), AggregationMode::Sum);
+
+        // Retiring slot 2 hits row 1's top-2 but not row 0's.
+        let delta = catalog_stub(vec![2], vec![]);
+        for row in 0..2 {
+            let cells = matrix.row(row).to_vec();
+            let mut cells = cells;
+            cells[2] = f64::INFINITY;
+            for (j, v) in cells.into_iter().enumerate() {
+                // Rebuild the matrix cell-by-cell to emulate apply_delta's
+                // retired write without a catalog.
+                let idx = row * 4 + j;
+                matrix.cells_mut()[idx] = v;
+            }
+        }
+        let repaired = cache.repair(&matrix, &delta);
+        assert_eq!(repaired, 1, "only row 1 re-aggregates");
+        assert_eq!(
+            cache.requirements(),
+            &matrix.aggregate(2, AggregationMode::Sum)[..]
+        );
+
+        // An appended column that beats only row 0's k-th value.
+        let wide = WorkforceMatrix::from_cells(
+            2,
+            5,
+            vec![
+                0.1,
+                0.2,
+                f64::INFINITY,
+                0.8,
+                0.15, // beats row 0's 0.2
+                0.7,
+                0.6,
+                f64::INFINITY,
+                0.4,
+                0.95, // worse than row 1's 0.7
+            ],
+        );
+        let delta = crate::catalog::CatalogDelta {
+            from_epoch: 1,
+            to_epoch: 2,
+            source_cols: 4,
+            target_cols: 5,
+            remap: None,
+            inserted: vec![4],
+            retired: vec![],
+        };
+        let repaired = cache.repair(&wide, &delta);
+        assert_eq!(repaired, 1, "only row 0 re-aggregates");
+        assert_eq!(
+            cache.requirements(),
+            &wide.aggregate(2, AggregationMode::Sum)[..]
+        );
+    }
+
+    #[test]
+    fn cache_ties_on_the_kth_value_leave_the_row_untouched() {
+        // The appended slot ties row 0's k-th value: selection tie-breaks by
+        // ascending index, and appended slots have the largest index, so the
+        // cached selection must stand and the row must not re-aggregate.
+        let matrix = WorkforceMatrix::from_cells(1, 3, vec![0.1, 0.2, 0.2]);
+        let mut cache = AggregationCache::new(2, AggregationMode::Sum);
+        cache.prime(&WorkforceMatrix::from_cells(1, 2, vec![0.1, 0.2]));
+        let delta = crate::catalog::CatalogDelta {
+            from_epoch: 0,
+            to_epoch: 1,
+            source_cols: 2,
+            target_cols: 3,
+            remap: None,
+            inserted: vec![2],
+            retired: vec![],
+        };
+        assert_eq!(cache.repair(&matrix, &delta), 0);
+        assert_eq!(
+            cache.requirements(),
+            &matrix.aggregate(2, AggregationMode::Sum)[..]
+        );
+    }
+
+    #[test]
+    fn cache_infeasible_rows_revive_through_inserted_columns() {
+        let matrix = WorkforceMatrix::from_cells(1, 2, vec![0.4, f64::INFINITY]);
+        let mut cache = AggregationCache::new(2, AggregationMode::Max);
+        cache.prime(&matrix);
+        assert_eq!(cache.requirements(), &[None]);
+        let wide = WorkforceMatrix::from_cells(1, 3, vec![0.4, f64::INFINITY, 0.9]);
+        let delta = crate::catalog::CatalogDelta {
+            from_epoch: 0,
+            to_epoch: 1,
+            source_cols: 2,
+            target_cols: 3,
+            remap: None,
+            inserted: vec![2],
+            retired: vec![],
+        };
+        assert_eq!(cache.repair(&wide, &delta), 1);
+        let req = cache.requirements()[0].as_ref().unwrap();
+        assert_eq!(req.strategy_indices, vec![0, 2]);
+        assert!((req.workforce - 0.9).abs() < 1e-12);
+        assert_eq!(
+            cache.requirements(),
+            &wide.aggregate(2, AggregationMode::Max)[..]
+        );
     }
 }

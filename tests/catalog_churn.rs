@@ -12,11 +12,24 @@
 //! that caused it. The vendored proptest harness seeds its RNG
 //! deterministically from the test name, so CI replays the same sequences
 //! on every run (`PROPTEST_CASES=256` in the workflow).
+//!
+//! The replay also carries the **delta-maintained derived state** through
+//! the same op stream: per policy, a standing-batch workforce matrix and
+//! two aggregation caches (sum- and max-mode) subscribe to the catalog's
+//! delta feed and absorb every step through `take_delta` → `apply_delta` →
+//! `AggregationCache::repair`, interleaved with `compact()`. After every
+//! step the incrementally maintained matrix must be **bit-identical** to a
+//! fresh `compute_with_catalog` and each cache to a fresh `aggregate` over
+//! the updated matrix.
 
 use proptest::prelude::*;
 use stratrec::core::adpar::{AdparBruteForce, AdparExact, AdparProblem, AdparSolver, SolveScratch};
 use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
 use stratrec::core::model::{DeploymentParameters, DeploymentRequest, Strategy, TaskType};
+use stratrec::core::modeling::{ModelLibrary, StrategyModel};
+use stratrec::core::workforce::{
+    AggregationCache, AggregationMode, EligibilityRule, WorkforceMatrix,
+};
 use stratrec::geometry::Axis;
 
 const POLICIES: [RebuildPolicy; 3] = [
@@ -46,6 +59,67 @@ fn shadow_axis_order(shadow: &[(usize, Strategy)], axis: Axis) -> Vec<usize> {
     keyed.into_iter().map(|(_, slot)| slot).collect()
 }
 
+/// Deterministic per-strategy model so the replayed matrices carry a real
+/// mix of finite and infinite cells with id-distinct values.
+fn model_for(id: u64) -> StrategyModel {
+    let alpha = 0.4 + ((id * 31) % 47) as f64 / 100.0;
+    StrategyModel::uniform(alpha, 1.0 - alpha)
+}
+
+/// The standing deployment-request batch whose matrix rows the replay
+/// maintains incrementally (one loose, one mid, one strict request).
+fn standing_requests() -> Vec<DeploymentRequest> {
+    [(0.05, 0.95, 0.95), (0.55, 0.6, 0.65), (0.85, 0.35, 0.3)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(q, c, l))| {
+            DeploymentRequest::new(
+                i as u64,
+                TaskType::SentenceTranslation,
+                DeploymentParameters::clamped(q, c, l),
+            )
+        })
+        .collect()
+}
+
+/// Per-policy delta-maintained derived state: the standing-batch matrix and
+/// its sum-/max-mode aggregation caches, fed by one delta subscription.
+struct MaintainedState {
+    subscription: stratrec::core::catalog::DeltaSubscription,
+    matrix: WorkforceMatrix,
+    cache_sum: AggregationCache,
+    cache_max: AggregationCache,
+}
+
+const MAINTAINED_K: usize = 2;
+
+impl MaintainedState {
+    fn new(
+        catalog: &mut StrategyCatalog,
+        requests: &[DeploymentRequest],
+        models: &ModelLibrary,
+    ) -> Self {
+        let matrix = WorkforceMatrix::compute_with_catalog(
+            requests,
+            catalog,
+            models,
+            EligibilityRule::StrategyParameters,
+        )
+        .expect("every replayed strategy has a model");
+        let mut cache_sum = AggregationCache::new(MAINTAINED_K, AggregationMode::Sum);
+        let mut cache_max = AggregationCache::new(MAINTAINED_K, AggregationMode::Max);
+        cache_sum.prime(&matrix);
+        cache_max.prime(&matrix);
+        let subscription = catalog.subscribe_delta();
+        Self {
+            subscription,
+            matrix,
+            cache_sum,
+            cache_max,
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn churn_parity_across_rebuild_thresholds(
@@ -69,12 +143,25 @@ proptest! {
             .collect();
         let mut next_id = seed.len() as u64;
 
+        // Delta-maintained derived state, carried through the same op
+        // stream: a model per strategy (extended on every insert), the
+        // standing batch, and per-policy matrix + caches + subscription.
+        let mut models =
+            ModelLibrary::from_pairs(seed.iter().map(|s| (s.id, model_for(s.id.0))));
+        let requests = standing_requests();
+        let mut maintained: Vec<MaintainedState> = catalogs
+            .iter_mut()
+            .map(|catalog| MaintainedState::new(catalog, &requests, &models))
+            .collect();
+        let mut model_buf = Vec::new();
+
         for &(selector, (a, b, c)) in &ops {
             // Decide the op: ~42 % insert, ~23 % retire, ~8 % compact,
             // ~27 % pure query.
             if selector < 0.42 {
                 let strategy =
                     Strategy::from_params(next_id, DeploymentParameters::clamped(a, b, c));
+                models.insert(strategy.id, model_for(next_id));
                 next_id += 1;
                 let mut slots = Vec::new();
                 for catalog in &mut catalogs {
@@ -110,6 +197,60 @@ proptest! {
                     prop_assert!(catalog.overlay_is_empty());
                     prop_assert!(catalog.index_is_packed_live());
                 }
+            }
+
+            // Delta maintenance after EVERY step: drain each catalog's
+            // window (identical across policies — same churn), apply it to
+            // the long-lived matrix, lazily repair the caches, and pin
+            // bit-identity against a fresh recompute / re-aggregation.
+            let mut deltas = Vec::new();
+            for (catalog, state) in catalogs.iter_mut().zip(&mut maintained) {
+                let delta = catalog.take_delta(&state.subscription);
+                state
+                    .matrix
+                    .apply_delta_with_scratch(
+                        &delta,
+                        &requests,
+                        catalog,
+                        &models,
+                        EligibilityRule::StrategyParameters,
+                        &mut model_buf,
+                    )
+                    .expect("replayed deltas are current and fully modeled");
+                state.cache_sum.repair(&state.matrix, &delta);
+                state.cache_max.repair(&state.matrix, &delta);
+                deltas.push(delta);
+            }
+            prop_assert!(
+                deltas.windows(2).all(|w| w[0] == w[1]),
+                "identical churn must drain identical deltas across policies"
+            );
+            for (catalog, state) in catalogs.iter().zip(&maintained) {
+                let fresh = WorkforceMatrix::compute_with_catalog(
+                    &requests,
+                    catalog,
+                    &models,
+                    EligibilityRule::StrategyParameters,
+                )
+                .expect("every replayed strategy has a model");
+                prop_assert_eq!(
+                    &state.matrix,
+                    &fresh,
+                    "delta-maintained matrix diverged, policy {:?}",
+                    catalog.rebuild_policy()
+                );
+                prop_assert_eq!(
+                    state.cache_sum.requirements(),
+                    &fresh.aggregate(MAINTAINED_K, AggregationMode::Sum)[..],
+                    "sum cache diverged, policy {:?}",
+                    catalog.rebuild_policy()
+                );
+                prop_assert_eq!(
+                    state.cache_max.requirements(),
+                    &fresh.aggregate(MAINTAINED_K, AggregationMode::Max)[..],
+                    "max cache diverged, policy {:?}",
+                    catalog.rebuild_policy()
+                );
             }
 
             // Parity check after EVERY step: the op's parameter triple
@@ -150,7 +291,7 @@ proptest! {
         // Epilogue: merging / rebuilding the lagging catalogs changes nothing.
         let final_probe = DeploymentParameters::default();
         let expected = shadow_eligible(&shadow, &final_probe);
-        for catalog in &mut catalogs {
+        for (catalog, state) in catalogs.iter_mut().zip(&maintained) {
             catalog.merge_overlay();
             prop_assert!(catalog.overlay_is_empty());
             prop_assert_eq!(catalog.eligible_for(&final_probe), expected.clone());
@@ -165,6 +306,11 @@ proptest! {
                     axis
                 );
             }
+            // Merges and rebuilds are not mutations of the live set: the
+            // delta feed stays silent and the maintained matrix stays
+            // current.
+            let delta = catalog.take_delta(&state.subscription);
+            prop_assert!(delta.is_empty(), "merge/rebuild must not emit churn");
         }
     }
 
