@@ -72,6 +72,7 @@ mod axis;
 mod compact;
 mod delta;
 mod overlay;
+pub(crate) mod soa;
 
 pub use compact::SlotRemap;
 pub use delta::{CatalogDelta, DeltaSubscription};
@@ -188,6 +189,10 @@ pub struct StrategyCatalog {
     /// Per-subscriber churn accumulation for delta-maintained derived state
     /// ([`delta`]); `None` entries are released ids awaiting reuse.
     subscriptions: Vec<Option<delta::DeltaTracker>>,
+    /// Columnar mirror of `strategies` + `live` for the workforce kernel
+    /// ([`soa`]): per-axis parameter columns and a packed liveness bitmap,
+    /// maintained exactly at every insert/retire/compact.
+    soa: soa::SoaBlock,
 }
 
 /// Margin added to eligibility query boxes so the R-tree pass is a strict
@@ -217,8 +222,10 @@ impl StrategyCatalog {
         let index = RTree::bulk_load(&points);
         let live_count = strategies.len();
         let axis_base = sorted_axis_orders(&points, (0..strategies.len()).collect());
+        let live = vec![true; live_count];
+        let soa = soa::SoaBlock::build(&strategies, &live);
         Self {
-            live: vec![true; live_count],
+            live,
             live_count,
             strategies,
             points,
@@ -233,6 +240,7 @@ impl StrategyCatalog {
             axis_tail: [Vec::new(), Vec::new(), Vec::new()],
             axis_tail_sorted: true,
             subscriptions: Vec::new(),
+            soa,
         }
     }
 
@@ -418,6 +426,12 @@ impl StrategyCatalog {
     #[must_use]
     pub fn eligible_for_request(&self, request: &DeploymentRequest) -> Vec<usize> {
         self.eligible_for(&request.params)
+    }
+
+    /// The columnar SoA mirror the workforce kernel streams: per-axis
+    /// parameter columns plus the packed liveness bitmap.
+    pub(crate) fn soa(&self) -> &soa::SoaBlock {
+        &self.soa
     }
 }
 

@@ -1,0 +1,228 @@
+//! Catalog-resident SoA coordinate block + packed liveness bitmap.
+//!
+//! The workforce kernel ([`crate::workforce::kernel`]) streams every slot of
+//! the catalog per request row. The row-of-structs layout the rest of the
+//! catalog uses (`Vec<Strategy>`, `Vec<bool>`) is hostile to that access
+//! pattern: each eligibility test touches three `f64`s buried inside a
+//! `Strategy` (id, enums, padding come along for the cache line), and the
+//! `Vec<bool>` liveness costs a byte-granular load per slot. This block keeps
+//! the same data in the shape the memory system wants:
+//!
+//! * three contiguous per-axis `f64` columns (`quality`, `cost`, `latency`)
+//!   holding the **raw** strategy parameters, so the kernel can evaluate the
+//!   exact [`DeploymentParameters::satisfies`] predicate straight off the
+//!   columns (the `1e-9` tolerance needs `f64` — an `f32` column could not
+//!   carry it, see the kernel module docs);
+//! * a packed liveness bitmap (bit `slot % 64` of word `slot / 64`), letting
+//!   the kernel skip 64 retired/ineligible slots per zero word and 8 per
+//!   zero mask byte.
+//!
+//! The block is maintained under the same overlay/compact discipline as the
+//! R-tree and the axis orders: [`Self::push_live`] on every catalog insert,
+//! [`Self::retire`] on every retirement, and a dense [`Self::build`] rebuild
+//! at every compaction. It is *always* exact (no tail/tombstone laziness):
+//! the columns and bitmap mirror `strategies`/`live` slot for slot at every
+//! epoch, which the churn-replay test below pins against a fresh rebuild
+//! after every single mutation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{DeploymentParameters, Strategy};
+
+/// Bits per packed liveness word.
+pub(crate) const WORD_BITS: usize = 64;
+
+/// The columnar mirror of the catalog's slot-parallel state: per-axis
+/// parameter columns plus the packed liveness bitmap.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SoaBlock {
+    /// Raw strategy quality per slot (retired slots keep their last value;
+    /// the bitmap masks them out).
+    quality: Vec<f64>,
+    /// Raw strategy cost per slot.
+    cost: Vec<f64>,
+    /// Raw strategy latency per slot.
+    latency: Vec<f64>,
+    /// Packed liveness: bit `slot % 64` of word `slot / 64`. Bits at or
+    /// beyond the slot count are always zero.
+    live_words: Vec<u64>,
+}
+
+impl SoaBlock {
+    /// Builds the block densely from slot-parallel strategies and liveness —
+    /// construction, compaction, and the shadow rebuild the churn tests
+    /// compare against.
+    pub(crate) fn build(strategies: &[Strategy], live: &[bool]) -> Self {
+        debug_assert_eq!(strategies.len(), live.len());
+        let mut block = Self {
+            quality: Vec::with_capacity(strategies.len()),
+            cost: Vec::with_capacity(strategies.len()),
+            latency: Vec::with_capacity(strategies.len()),
+            live_words: vec![0; strategies.len().div_ceil(WORD_BITS)],
+        };
+        for (slot, strategy) in strategies.iter().enumerate() {
+            block.quality.push(strategy.params.quality);
+            block.cost.push(strategy.params.cost);
+            block.latency.push(strategy.params.latency);
+            if live[slot] {
+                block.live_words[slot / WORD_BITS] |= 1_u64 << (slot % WORD_BITS);
+            }
+        }
+        block
+    }
+
+    /// Appends one live slot (the [`StrategyCatalog::insert`] hook).
+    ///
+    /// [`StrategyCatalog::insert`]: super::StrategyCatalog::insert
+    pub(crate) fn push_live(&mut self, params: &DeploymentParameters) {
+        let slot = self.quality.len();
+        self.quality.push(params.quality);
+        self.cost.push(params.cost);
+        self.latency.push(params.latency);
+        if slot.is_multiple_of(WORD_BITS) {
+            self.live_words.push(0);
+        }
+        self.live_words[slot / WORD_BITS] |= 1_u64 << (slot % WORD_BITS);
+    }
+
+    /// Clears a slot's liveness bit (the [`StrategyCatalog::retire`] hook);
+    /// the coordinate columns keep the stale values, masked out forever.
+    ///
+    /// [`StrategyCatalog::retire`]: super::StrategyCatalog::retire
+    pub(crate) fn retire(&mut self, slot: usize) {
+        self.live_words[slot / WORD_BITS] &= !(1_u64 << (slot % WORD_BITS));
+    }
+
+    /// Number of slots the block covers (live + retired).
+    pub(crate) fn len(&self) -> usize {
+        self.quality.len()
+    }
+
+    /// The per-slot quality column.
+    pub(crate) fn quality(&self) -> &[f64] {
+        &self.quality
+    }
+
+    /// The per-slot cost column.
+    pub(crate) fn cost(&self) -> &[f64] {
+        &self.cost
+    }
+
+    /// The per-slot latency column.
+    pub(crate) fn latency(&self) -> &[f64] {
+        &self.latency
+    }
+
+    /// The packed liveness words.
+    pub(crate) fn live_words(&self) -> &[u64] {
+        &self.live_words
+    }
+
+    /// Whether `slot`'s liveness bit is set (`false` out of range).
+    #[cfg(test)]
+    pub(crate) fn is_live(&self, slot: usize) -> bool {
+        self.live_words
+            .get(slot / WORD_BITS)
+            .is_some_and(|word| (word >> (slot % WORD_BITS)) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{RebuildPolicy, StrategyCatalog};
+    use super::*;
+
+    fn strategy(id: u64, q: f64, c: f64, l: f64) -> Strategy {
+        Strategy::from_params(id, DeploymentParameters::clamped(q, c, l))
+    }
+
+    fn varied_strategy(id: u64) -> Strategy {
+        strategy(
+            id,
+            0.3 + ((id * 13) % 60) as f64 / 100.0,
+            0.2 + ((id * 29) % 70) as f64 / 100.0,
+            0.1 + ((id * 17) % 80) as f64 / 100.0,
+        )
+    }
+
+    /// The block mirrors `strategies`/`live` exactly (a fresh dense rebuild
+    /// is bit-identical to the incrementally maintained state).
+    fn assert_soa_parity(catalog: &StrategyCatalog, context: &str) {
+        let fresh = SoaBlock::build(&catalog.strategies, &catalog.live);
+        assert_eq!(catalog.soa, fresh, "{context}");
+        assert_eq!(catalog.soa.len(), catalog.slot_count(), "{context}");
+        for slot in 0..catalog.slot_count() + 2 {
+            assert_eq!(
+                catalog.soa.is_live(slot),
+                catalog.is_live(slot),
+                "{context}, slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_mirrors_the_strategy_set() {
+        for n in [0_u64, 1, 63, 64, 65, 130] {
+            let strategies: Vec<Strategy> = (0..n).map(varied_strategy).collect();
+            let catalog = StrategyCatalog::from_slice(&strategies);
+            assert_soa_parity(&catalog, &format!("n = {n}"));
+            assert_eq!(
+                catalog.soa.live_words().len(),
+                (n as usize).div_ceil(WORD_BITS)
+            );
+            for (slot, s) in strategies.iter().enumerate() {
+                assert_eq!(catalog.soa.quality()[slot], s.params.quality);
+                assert_eq!(catalog.soa.cost()[slot], s.params.cost);
+                assert_eq!(catalog.soa.latency()[slot], s.params.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn bits_beyond_the_slot_count_stay_zero() {
+        let strategies: Vec<Strategy> = (0..70).map(varied_strategy).collect();
+        let mut catalog = StrategyCatalog::from_slice(&strategies);
+        assert!(catalog.retire(69));
+        catalog.insert(varied_strategy(70));
+        for (w, word) in catalog.soa.live_words().iter().enumerate() {
+            for bit in 0..WORD_BITS {
+                let slot = w * WORD_BITS + bit;
+                if slot >= catalog.slot_count() {
+                    assert_eq!((word >> bit) & 1, 0, "stray bit at slot {slot}");
+                }
+            }
+        }
+    }
+
+    /// The SoA block follows every insert / retire / compact of a churned
+    /// catalog, pinned against a fresh rebuild after **every** mutation.
+    #[test]
+    fn churn_replay_matches_a_fresh_rebuild_at_every_step() {
+        let initial: Vec<Strategy> = (0..70).map(varied_strategy).collect();
+        let mut catalog = StrategyCatalog::with_policy(initial, RebuildPolicy::threshold(4));
+        let mut next_id = 70_u64;
+        for window in 0..6_usize {
+            for _ in 0..3 {
+                catalog.insert(varied_strategy(next_id));
+                next_id += 1;
+                assert_soa_parity(&catalog, &format!("window {window}, after insert"));
+            }
+            let live = catalog.live_indices();
+            for pick in [window % live.len(), (window * 7 + 2) % live.len()] {
+                // Double retirements are no-ops and must not flip bits.
+                catalog.retire(live[pick]);
+                assert_soa_parity(&catalog, &format!("window {window}, after retire {pick}"));
+            }
+            if window % 2 == 1 {
+                catalog.compact();
+                assert_soa_parity(&catalog, &format!("window {window}, after compact"));
+                assert_eq!(catalog.soa.len(), catalog.len());
+            }
+        }
+        // Merges and forced rebuilds leave slot-parallel data untouched.
+        catalog.merge_overlay();
+        assert_soa_parity(&catalog, "after merge_overlay");
+        catalog.force_rebuild();
+        assert_soa_parity(&catalog, "after force_rebuild");
+    }
+}

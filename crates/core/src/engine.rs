@@ -35,7 +35,7 @@ use crate::catalog::{CatalogDelta, StrategyCatalog};
 use crate::error::StratRecError;
 use crate::model::DeploymentRequest;
 use crate::modeling::{ModelLibrary, StrategyModel};
-use crate::workforce::{self, EligibilityRule, WorkforceMatrix};
+use crate::workforce::{self, kernel, EligibilityRule, Precision, WorkforceMatrix};
 
 /// A scoped-thread batch executor. Cheap to copy and hold inside
 /// configuration structs; threads are spawned per call and joined before
@@ -44,6 +44,9 @@ use crate::workforce::{self, EligibilityRule, WorkforceMatrix};
 pub struct BatchEngine {
     /// Worker-thread cap; `0` means "one per available core".
     threads: usize,
+    /// Which workforce-matrix fill the engine runs ([`Precision::F64`] is
+    /// the scalar reference path).
+    precision: Precision,
 }
 
 impl BatchEngine {
@@ -57,7 +60,10 @@ impl BatchEngine {
     /// core).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            precision: Precision::default(),
+        }
     }
 
     /// An engine that always runs on the calling thread — useful for
@@ -67,10 +73,25 @@ impl BatchEngine {
         Self::with_threads(1)
     }
 
+    /// This engine with its workforce-matrix fill switched to `precision`
+    /// ([`Precision::F32`] selects the columnar kernel; sharding and the
+    /// kernel compose — each worker runs the kernel over its own row chunk).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// The configured worker cap (`0` = auto).
     #[must_use]
     pub fn thread_cap(&self) -> usize {
         self.threads
+    }
+
+    /// The workforce-matrix fill this engine runs.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Workers actually used for `work_items` parallel items: the cap (or
@@ -123,6 +144,61 @@ impl BatchEngine {
         rule: EligibilityRule,
         model_buf: &mut Vec<Option<StrategyModel>>,
     ) -> Result<WorkforceMatrix, StratRecError> {
+        let mut matrix =
+            WorkforceMatrix::from_cells_with_precision(0, 0, Vec::new(), self.precision);
+        self.refill_workforce_matrix_with_scratch(
+            requests,
+            catalog,
+            models,
+            rule,
+            &mut matrix,
+            model_buf,
+        )?;
+        Ok(matrix)
+    }
+
+    /// Cold-refills an existing matrix in place —
+    /// [`WorkforceMatrix::refill_with_catalog`] semantics (previous
+    /// contents, shape, and precision discarded; cell allocation reused),
+    /// sharded like [`Self::workforce_matrix`] and bit-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::workforce_matrix`]; `matrix` is left empty on error.
+    pub fn refill_workforce_matrix(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        matrix: &mut WorkforceMatrix,
+    ) -> Result<(), StratRecError> {
+        let mut model_buf = Vec::new();
+        self.refill_workforce_matrix_with_scratch(
+            requests,
+            catalog,
+            models,
+            rule,
+            matrix,
+            &mut model_buf,
+        )
+    }
+
+    /// [`Self::refill_workforce_matrix`] reusing a caller-provided model
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::workforce_matrix`]; `matrix` is left empty on error.
+    pub fn refill_workforce_matrix_with_scratch(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        rule: EligibilityRule,
+        matrix: &mut WorkforceMatrix,
+        model_buf: &mut Vec<Option<StrategyModel>>,
+    ) -> Result<(), StratRecError> {
         // Rows are slot-shaped: one column per catalog slot, so row width —
         // and the whole cell buffer — tracks `slot_count`, which a
         // `compact()` snaps back to `len()` (the live count). Long-lived
@@ -133,37 +209,80 @@ impl BatchEngine {
         if threads < 2 || cols == 0 {
             // One worker (or nothing to shard): the sequential path IS the
             // engine's semantics, so delegate rather than duplicate it.
-            return WorkforceMatrix::compute_with_catalog_scratch(
-                requests, catalog, models, rule, model_buf,
+            return matrix.refill_with_catalog(
+                requests,
+                catalog,
+                models,
+                rule,
+                self.precision,
+                model_buf,
             );
         }
+        let mut cells = matrix.take_cells();
         workforce::collect_live_models_into(catalog, models, model_buf)?;
-        let mut cells = vec![f64::INFINITY; requests.len() * cols];
+        // Same per-precision start state as the sequential cold fill: the
+        // scalar path needs `∞` rows, the kernel writes every cell (fresh
+        // buffers for it come from `alloc_zeroed` — no pre-fill write pass).
+        let len = requests.len() * cols;
+        match self.precision {
+            Precision::F64 => {
+                cells.clear();
+                cells.resize(len, f64::INFINITY);
+            }
+            Precision::F32 => {
+                if cells.capacity() < len {
+                    cells = vec![0.0; len];
+                } else {
+                    cells.resize(len, 0.0);
+                }
+            }
+        }
         {
             let rows_per_chunk = requests.len().div_ceil(threads);
             let strategy_models = &*model_buf;
+            // The kernel's coefficient columns are collected once and shared
+            // read-only by every worker, like the model buffer.
+            let coeffs = match self.precision {
+                Precision::F64 => None,
+                Precision::F32 => Some(kernel::KernelCoeffs::collect(strategy_models)),
+            };
+            let coeffs = coeffs.as_ref();
             std::thread::scope(|scope| {
                 for (chunk_requests, chunk_cells) in requests
                     .chunks(rows_per_chunk)
                     .zip(cells.chunks_mut(rows_per_chunk * cols))
                 {
-                    scope.spawn(move || {
-                        for (request, row) in
-                            chunk_requests.iter().zip(chunk_cells.chunks_mut(cols))
-                        {
-                            workforce::fill_catalog_row(
-                                request,
-                                catalog,
-                                strategy_models,
-                                rule,
-                                row,
-                            );
+                    scope.spawn(move || match coeffs {
+                        None => {
+                            for (request, row) in
+                                chunk_requests.iter().zip(chunk_cells.chunks_mut(cols))
+                            {
+                                workforce::fill_catalog_row(
+                                    request,
+                                    catalog,
+                                    strategy_models,
+                                    rule,
+                                    row,
+                                );
+                            }
                         }
+                        // Row tiling is worker-local: cell values don't
+                        // depend on the tiling, so the shard split stays
+                        // bit-identical to the sequential fill.
+                        Some(coeffs) => kernel::fill_catalog_rows_f32(
+                            chunk_requests,
+                            catalog,
+                            coeffs,
+                            rule,
+                            chunk_cells,
+                        ),
                     });
                 }
             });
         }
-        Ok(WorkforceMatrix::from_cells(requests.len(), cols, cells))
+        *matrix =
+            WorkforceMatrix::from_cells_with_precision(requests.len(), cols, cells, self.precision);
+        Ok(())
     }
 
     /// Applies a [`CatalogDelta`] to a long-lived workforce matrix
@@ -202,6 +321,10 @@ impl BatchEngine {
         }
         matrix.apply_delta_structure(delta, requests, catalog, models, model_buf)?;
         let cols = matrix.cols();
+        // The fill follows the *matrix's* precision (not the engine's): the
+        // delta repairs the state some fill produced, and mixing precisions
+        // within one matrix would break its parity contract.
+        let precision = matrix.precision();
         let rows_per_chunk = requests.len().div_ceil(threads);
         let inserted = &delta.inserted;
         let inserted_models = &*model_buf;
@@ -213,14 +336,24 @@ impl BatchEngine {
             {
                 scope.spawn(move || {
                     for (request, row) in chunk_requests.iter().zip(chunk_cells.chunks_mut(cols)) {
-                        workforce::fill_inserted_cells(
-                            request,
-                            catalog,
-                            inserted,
-                            inserted_models,
-                            rule,
-                            row,
-                        );
+                        match precision {
+                            Precision::F64 => workforce::fill_inserted_cells(
+                                request,
+                                catalog,
+                                inserted,
+                                inserted_models,
+                                rule,
+                                row,
+                            ),
+                            Precision::F32 => kernel::fill_inserted_cells_f32(
+                                request,
+                                catalog,
+                                inserted,
+                                inserted_models,
+                                rule,
+                                row,
+                            ),
+                        }
                     }
                 });
             }
@@ -303,17 +436,25 @@ mod tests {
     fn engine_matrix_matches_sequential_for_every_thread_count() {
         let (requests, strategies, models) = setup();
         let catalog = StrategyCatalog::from_slice(&strategies);
-        for rule in [
-            EligibilityRule::StrategyParameters,
-            EligibilityRule::ModelOnly,
-        ] {
-            let sequential =
-                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
-            for threads in [0, 1, 2, 3, 7] {
-                let parallel = BatchEngine::with_threads(threads)
-                    .workforce_matrix(&requests, &catalog, &models, rule)
-                    .unwrap();
-                assert_eq!(sequential, parallel, "{rule:?}, {threads} threads");
+        for precision in Precision::ALL {
+            for rule in [
+                EligibilityRule::StrategyParameters,
+                EligibilityRule::ModelOnly,
+            ] {
+                let sequential = WorkforceMatrix::compute_with_catalog_precision(
+                    &requests, &catalog, &models, rule, precision,
+                )
+                .unwrap();
+                for threads in [0, 1, 2, 3, 7] {
+                    let parallel = BatchEngine::with_threads(threads)
+                        .with_precision(precision)
+                        .workforce_matrix(&requests, &catalog, &models, rule)
+                        .unwrap();
+                    assert_eq!(
+                        sequential, parallel,
+                        "{precision:?}, {rule:?}, {threads} threads"
+                    );
+                }
             }
         }
     }
@@ -469,16 +610,20 @@ mod tests {
                 )
             })
             .collect();
-        for rule in [
-            EligibilityRule::StrategyParameters,
-            EligibilityRule::ModelOnly,
+        for (rule, precision) in [
+            (EligibilityRule::StrategyParameters, Precision::F64),
+            (EligibilityRule::ModelOnly, Precision::F64),
+            (EligibilityRule::StrategyParameters, Precision::F32),
+            (EligibilityRule::ModelOnly, Precision::F32),
         ] {
             let mut catalog = StrategyCatalog::with_policy(
                 strategies.clone(),
                 crate::catalog::RebuildPolicy::threshold(3),
             );
-            let base =
-                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
+            let base = WorkforceMatrix::compute_with_catalog_precision(
+                &requests, &catalog, &models, rule, precision,
+            )
+            .unwrap();
             let sub = catalog.subscribe_delta();
             let engines = [0_usize, 1, 2, 3, 7];
             let mut matrices: Vec<WorkforceMatrix> = engines.iter().map(|_| base.clone()).collect();
@@ -508,11 +653,14 @@ mod tests {
                     catalog.compact();
                 }
                 let delta = catalog.take_delta(&sub);
-                let fresh =
-                    WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule)
-                        .unwrap();
+                let fresh = WorkforceMatrix::compute_with_catalog_precision(
+                    &requests, &catalog, &models, rule, precision,
+                )
+                .unwrap();
                 for (&threads, matrix) in engines.iter().zip(&mut matrices) {
                     let mut model_buf = Vec::new();
+                    // The delta fill follows the *matrix's* precision, so the
+                    // engine is left at its default here on purpose.
                     BatchEngine::with_threads(threads)
                         .apply_matrix_delta(
                             matrix,
@@ -526,7 +674,7 @@ mod tests {
                         .unwrap();
                     assert_eq!(
                         matrix, &fresh,
-                        "{rule:?}, window {window}, {threads} threads"
+                        "{precision:?}, {rule:?}, window {window}, {threads} threads"
                     );
                 }
             }

@@ -88,6 +88,7 @@ pub mod prelude {
     pub use crate::modeling::{LinearModel, ModelLibrary, ParameterKind, StrategyModel};
     pub use crate::stratrec::{StratRec, StratRecConfig, StratRecReport, StratRecSession};
     pub use crate::workforce::{
-        AggregationCache, AggregationMode, EligibilityRule, RequestRequirement, WorkforceMatrix,
+        AggregationCache, AggregationMode, EligibilityRule, Precision, RequestRequirement,
+        WorkforceMatrix,
     };
 }

@@ -200,12 +200,17 @@ impl DeploymentParameters {
     /// `quality ≥ request.quality ∧ cost ≤ request.cost ∧ latency ≤ request.latency`.
     #[must_use]
     pub fn satisfies(&self, request: &Self) -> bool {
-        const EPS: f64 = 1e-9;
-        self.quality + EPS >= request.quality
-            && self.cost <= request.cost + EPS
-            && self.latency <= request.latency + EPS
+        self.quality + SATISFIES_EPS >= request.quality
+            && self.cost <= request.cost + SATISFIES_EPS
+            && self.latency <= request.latency + SATISFIES_EPS
     }
 }
+
+/// Tolerance of [`DeploymentParameters::satisfies`] on every axis. Shared
+/// with the workforce kernel's bitmask eligibility pass
+/// ([`crate::workforce::kernel`]), which must reproduce the predicate bit
+/// for bit off the catalog's SoA columns.
+pub(crate) const SATISFIES_EPS: f64 = 1e-9;
 
 impl Default for DeploymentParameters {
     fn default() -> Self {

@@ -266,16 +266,25 @@ impl StratRec {
             (&session.matrix, &session.cache, &session.subscription),
             (Some(matrix), Some(cache), Some(_))
                 if matrix.rows() == requests.len()
+                    && matrix.precision() == self.engine.precision()
                     && cache.k() == self.config.k
                     && cache.mode() == self.config.aggregation
         );
         if !reusable {
             session.detach(catalog);
-            let matrix = self.engine.workforce_matrix_with_scratch(
+            // Refill into the stale matrix when the session still holds one:
+            // a full recompute either way, but the tens-of-megabytes cell
+            // allocation survives rebuild triggers.
+            let mut matrix = session
+                .matrix
+                .take()
+                .unwrap_or_else(|| WorkforceMatrix::from_cells(0, 0, Vec::new()));
+            self.engine.refill_workforce_matrix_with_scratch(
                 requests,
                 catalog,
                 models,
                 aggregator.eligibility,
+                &mut matrix,
                 &mut session.model_buf,
             )?;
             let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);

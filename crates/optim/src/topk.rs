@@ -102,6 +102,50 @@ pub fn k_smallest_indices_into(
     out.extend(scratch.sorted.iter().map(|&(_, i)| i));
 }
 
+/// The row aggregates one fused [`k_smallest_aggregates_into`] pass yields
+/// alongside the selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKAggregates {
+    /// Sum of the `k` selected values, accumulated in ascending
+    /// `(value, index)` order (the *sum-case* aggregation).
+    pub sum: f64,
+    /// The `k`-th smallest (= largest selected) value (the *max-case*
+    /// aggregation).
+    pub kth: f64,
+}
+
+/// Fused top-k selection + aggregation: fills `out` exactly like
+/// [`k_smallest_indices_into`] and computes both row aggregates from the
+/// same drained, sorted buffer — one pass over the row for selection, sum
+/// and k-th value together. Returns `None` when `k == 0` or fewer than `k`
+/// finite values exist (`out` then holds the shortfall selection).
+///
+/// This is **the** aggregation primitive: cold aggregation
+/// (`WorkforceMatrix::aggregate`), cache priming and cache repair — for
+/// either matrix precision — all route through it, so every path sums the
+/// same values in the same order and is bit-identical by construction.
+pub fn k_smallest_aggregates_into(
+    values: &[f64],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<usize>,
+) -> Option<TopKAggregates> {
+    k_smallest_indices_into(values, k, scratch, out);
+    if k == 0 || out.len() < k {
+        return None;
+    }
+    let mut sum = 0.0;
+    for &(value, _) in &scratch.sorted {
+        sum += value;
+    }
+    let kth = scratch
+        .sorted
+        .last()
+        .expect("k >= 1 so the selection is non-empty")
+        .0;
+    Some(TopKAggregates { sum, kth })
+}
+
 /// Sort-based reference implementation of [`k_smallest_indices`], `O(n log n)`.
 ///
 /// Exists for differential testing and for the ablation benchmark comparing
@@ -121,28 +165,24 @@ pub fn k_smallest_indices_by_sort(values: &[f64], k: usize) -> Vec<usize> {
 }
 
 /// Sum of the `k` smallest finite values (the paper's *sum-case* aggregation).
-/// Returns `None` when fewer than `k` finite values exist.
+/// Returns `None` when fewer than `k` finite values exist; summing zero
+/// values is well-defined, so `k == 0` yields `Some(0.0)`.
 #[must_use]
 pub fn sum_of_k_smallest(values: &[f64], k: usize) -> Option<f64> {
-    let idx = k_smallest_indices(values, k);
-    if idx.len() < k {
-        return None;
+    if k == 0 {
+        return Some(0.0);
     }
-    Some(idx.iter().map(|&i| values[i]).sum())
+    k_smallest_aggregates_into(values, k, &mut TopKScratch::new(), &mut Vec::new())
+        .map(|aggregates| aggregates.sum)
 }
 
 /// The `k`-th smallest finite value (the paper's *max-case* aggregation).
-/// Returns `None` when fewer than `k` finite values exist.
+/// Returns `None` when fewer than `k` finite values exist (there is no
+/// 0-th smallest value).
 #[must_use]
 pub fn kth_smallest(values: &[f64], k: usize) -> Option<f64> {
-    if k == 0 {
-        return None;
-    }
-    let idx = k_smallest_indices(values, k);
-    if idx.len() < k {
-        return None;
-    }
-    Some(values[*idx.last().expect("k >= 1 so the list is non-empty")])
+    k_smallest_aggregates_into(values, k, &mut TopKScratch::new(), &mut Vec::new())
+        .map(|aggregates| aggregates.kth)
 }
 
 #[cfg(test)]
@@ -205,6 +245,42 @@ mod tests {
             for k in 0..5 {
                 k_smallest_indices_into(row, k, &mut scratch, &mut out);
                 assert_eq!(out, k_smallest_indices(row, k), "k = {k}, row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_aggregates_match_the_split_primitives() {
+        let mut scratch = TopKScratch::new();
+        let mut out = Vec::new();
+        let rows: [&[f64]; 5] = [
+            &[0.5, 0.1, 0.9, 0.3, 0.2],
+            &[f64::INFINITY, 0.4, f64::NAN, 0.2],
+            &[],
+            &[0.3, 0.3, 0.3],
+            &[0.5, f64::INFINITY],
+        ];
+        for row in rows {
+            for k in 0..5 {
+                let fused = k_smallest_aggregates_into(row, k, &mut scratch, &mut out);
+                assert_eq!(out, k_smallest_indices(row, k), "k = {k}, row {row:?}");
+                match fused {
+                    None => {
+                        assert!(k == 0 || out.len() < k, "k = {k}, row {row:?}");
+                        if k > 0 {
+                            assert_eq!(sum_of_k_smallest(row, k), None);
+                        }
+                        assert_eq!(kth_smallest(row, k), None);
+                    }
+                    Some(aggregates) => {
+                        let sum: f64 = out.iter().map(|&i| row[i]).sum();
+                        assert_eq!(aggregates.sum.to_bits(), sum.to_bits());
+                        assert_eq!(
+                            aggregates.kth.to_bits(),
+                            row[*out.last().unwrap()].to_bits()
+                        );
+                    }
+                }
             }
         }
     }

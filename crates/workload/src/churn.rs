@@ -654,6 +654,68 @@ mod tests {
     }
 
     #[test]
+    fn incremental_epoch_loop_holds_precision_parity_for_the_f32_kernel() {
+        // Same contract as the test above, but driven at both matrix
+        // precisions: the delta-maintained session must stay bit-identical
+        // to an engine cold fill *of its own precision* at every epoch, and
+        // the served reports must match the full per-epoch pipeline under
+        // the same engine.
+        use stratrec_core::engine::BatchEngine;
+        use stratrec_core::stratrec::{StratRec, StratRecConfig, StratRecSession};
+        use stratrec_core::workforce::Precision;
+
+        let instance = ChurnScenario {
+            compact: CompactPolicy::EveryNEpochs(2),
+            ..small_scenario()
+        }
+        .materialize();
+        let config = StratRecConfig {
+            k: instance.k,
+            objective: BatchObjective::Throughput,
+            aggregation: AggregationMode::Sum,
+        };
+        for precision in Precision::ALL {
+            let engine = BatchEngine::new().with_precision(precision);
+            let layer = StratRec::new(config).with_engine(engine);
+            let mut catalog = instance.catalog(RebuildPolicy::threshold(7));
+            let mut session = StratRecSession::new();
+            let pdf = stratrec_core::availability::AvailabilityPdf::certain(
+                instance.availability.value(),
+            );
+            for i in 0..instance.epochs.len() {
+                let incremental = instance
+                    .apply_epoch_incremental(i, &mut catalog, &layer, &mut session)
+                    .unwrap();
+                let full = layer
+                    .process_batch_with_catalog(
+                        &instance.standing,
+                        &catalog,
+                        &instance.models,
+                        &pdf,
+                    )
+                    .unwrap();
+                assert_eq!(incremental, full, "{precision:?}, epoch {i}");
+                let matrix = session.matrix().unwrap();
+                assert_eq!(matrix.precision(), precision);
+                let fresh = layer
+                    .engine
+                    .workforce_matrix(
+                        &instance.standing,
+                        &catalog,
+                        &instance.models,
+                        EligibilityRule::default(),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    matrix, &fresh,
+                    "delta-maintained {precision:?} matrix drifted from a cold fill, epoch {i}"
+                );
+            }
+            session.detach(&mut catalog);
+        }
+    }
+
+    #[test]
     fn retired_columns_are_infeasible_in_the_workforce_matrix() {
         let instance = small_scenario().materialize();
         let mut catalog = instance.catalog(RebuildPolicy::threshold(4));

@@ -12,8 +12,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use stratrec_core::availability::WorkerAvailability;
 use stratrec_core::catalog::StrategyCatalog;
+use stratrec_core::engine::BatchEngine;
 use stratrec_core::model::{DeploymentRequest, Strategy};
 use stratrec_core::modeling::ModelLibrary;
+use stratrec_core::workforce::{EligibilityRule, WorkforceMatrix};
 
 use crate::model_gen::generate_models;
 use crate::request_gen::generate_requests;
@@ -66,6 +68,43 @@ impl BatchInstance {
     #[must_use]
     pub fn catalog(&self) -> StrategyCatalog {
         StrategyCatalog::from_slice(&self.strategies)
+    }
+
+    /// Cold-fills the workforce matrix for this instance through `engine`,
+    /// honouring the engine's thread cap and [`Precision`] — the shared entry
+    /// point for the kernel benchmarks and the precision-parity drivers.
+    ///
+    /// # Panics
+    /// Panics if the engine reports a solver error (the synthetic instances
+    /// are always well-formed).
+    #[must_use]
+    pub fn cold_matrix(
+        &self,
+        catalog: &StrategyCatalog,
+        engine: &BatchEngine,
+        rule: EligibilityRule,
+    ) -> WorkforceMatrix {
+        engine
+            .workforce_matrix(&self.requests, catalog, &self.models, rule)
+            .expect("synthetic batch instances cold-fill cleanly")
+    }
+
+    /// [`Self::cold_matrix`] into an existing matrix
+    /// ([`BatchEngine::refill_workforce_matrix`]): the same full recompute,
+    /// reusing the cell allocation — the steady-state rebuild shape.
+    ///
+    /// # Panics
+    /// As [`Self::cold_matrix`].
+    pub fn refill_cold_matrix(
+        &self,
+        catalog: &StrategyCatalog,
+        engine: &BatchEngine,
+        rule: EligibilityRule,
+        matrix: &mut WorkforceMatrix,
+    ) {
+        engine
+            .refill_workforce_matrix(&self.requests, catalog, &self.models, rule, matrix)
+            .expect("synthetic batch instances cold-fill cleanly");
     }
 }
 
