@@ -250,7 +250,7 @@ fn measure_incremental(
         for i in 0..epochs {
             instance.apply_epoch(i, &mut catalog);
             let started = Instant::now();
-            let delta = catalog.take_delta(&sub);
+            let delta = catalog.take_delta(&sub).unwrap();
             engine
                 .apply_matrix_delta(
                     &mut matrix,
@@ -427,7 +427,7 @@ fn bench_incremental_vs_recompute(c: &mut Criterion) {
                     let mut repaired = 0usize;
                     for i in 0..instance.epochs.len() {
                         instance.apply_epoch(i, &mut catalog);
-                        let delta = catalog.take_delta(&sub);
+                        let delta = catalog.take_delta(&sub).unwrap();
                         engine
                             .apply_matrix_delta(
                                 &mut matrix,

@@ -45,6 +45,15 @@
 use serde::{Deserialize, Serialize};
 
 use super::{SlotRemap, StrategyCatalog};
+use crate::error::StratRecError;
+
+/// Default [`StrategyCatalog::delta_lapse_limit`]: how many catalog
+/// mutations a subscriber may sit through without draining before its
+/// tracker is evicted. Large enough that a per-epoch drainer at paper-scale
+/// churn (a few hundred mutations per epoch) never lapses; small enough
+/// that a leaked tracker stops costing per-mutation bookkeeping after a
+/// bounded number of epochs.
+pub const DEFAULT_DELTA_LAPSE_LIMIT: u64 = 4096;
 
 /// One subscriber's view of the churn since it last synchronized, drained by
 /// [`StrategyCatalog::take_delta`].
@@ -113,13 +122,42 @@ impl CatalogDelta {
 /// Handle identifying one delta tracker registered with a catalog via
 /// [`StrategyCatalog::subscribe_delta`].
 ///
-/// The handle is a plain id: it is `Copy` for ergonomic storage, but it is
-/// only meaningful against the catalog (or clones of the catalog) it was
-/// issued by, and only until [`StrategyCatalog::unsubscribe_delta`] releases
-/// it (ids are recycled).
+/// The handle is **generation-tagged**: ids are recycled by later
+/// subscribers, but every issuance carries a fresh generation, so a stale
+/// `Copy` of a released (or [evicted](StrategyCatalog::delta_lapse_limit))
+/// handle can never silently drain — or release — a *different* subscriber
+/// that happens to reuse the same id. [`StrategyCatalog::take_delta`] on a
+/// stale or unknown handle fails with the typed
+/// [`StratRecError::StaleSubscription`] instead.
+///
+/// The handle is `Copy` for ergonomic storage; it is only meaningful
+/// against the catalog (or clones of the catalog) it was issued by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DeltaSubscription {
     id: usize,
+    generation: u64,
+}
+
+impl DeltaSubscription {
+    /// The (recyclable) tracker-slot id this handle names; the generation
+    /// tag decides whether the handle still owns that slot.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+/// One tracker slot of the catalog's subscription table. The generation
+/// counts issuances of this slot's id: it is bumped every time the slot is
+/// (re-)subscribed, and a handle is honored only while its generation
+/// matches — releasing, evicting, or re-issuing the slot strands every
+/// previously issued handle with a typed error instead of silent aliasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(super) struct SubscriptionSlot {
+    /// Generation of the most recent issuance of this slot's id.
+    generation: u64,
+    /// The live tracker, or `None` once released/evicted.
+    tracker: Option<DeltaTracker>,
 }
 
 /// Per-subscriber accumulation state (see the module docs for the
@@ -141,6 +179,12 @@ pub(super) struct DeltaTracker {
     /// Subscriber columns retired since the later of the last drain and the
     /// window's last compaction (push order; sorted at drain time).
     retired: Vec<usize>,
+    /// Catalog mutations observed since the last drain (or since
+    /// subscribing). A tracker whose count exceeds the catalog's
+    /// [`StrategyCatalog::delta_lapse_limit`] has lapsed — its subscriber
+    /// leaked or starved — and is evicted so the catalog stops paying
+    /// per-mutation bookkeeping for it forever.
+    undrained: u64,
 }
 
 impl DeltaTracker {
@@ -151,14 +195,19 @@ impl DeltaTracker {
             present_base: width,
             remap: None,
             retired: Vec::new(),
+            undrained: 0,
         }
     }
 
     /// Records the retirement of `slot` (current numbering). Window inserts
     /// (`slot >= present_base`) are not recorded: the subscriber has no
     /// column for them yet, and the drain-time append consults liveness.
+    /// Deduplicated against the pending window — a slot retires at most
+    /// once between compactions, so a duplicate record could only come from
+    /// replaying a mutation against a tracker that already saw it, and must
+    /// not grow the window.
     fn note_retire(&mut self, slot: usize) {
-        if slot < self.present_base {
+        if slot < self.present_base && !self.retired.contains(&slot) {
             self.retired.push(slot);
         }
     }
@@ -204,6 +253,7 @@ impl DeltaTracker {
         self.base_epoch = epoch;
         self.base_width = slot_count;
         self.present_base = slot_count;
+        self.undrained = 0;
         delta
     }
 }
@@ -212,18 +262,28 @@ impl StrategyCatalog {
     /// Registers a delta subscriber synchronized with the catalog's current
     /// state: the first [`Self::take_delta`] covers every mutation from this
     /// moment on. Subscribe at the instant the derived state is computed
-    /// (both observe the same epoch).
+    /// (both observe the same epoch). Released tracker slots are recycled,
+    /// but every issuance carries a fresh generation tag, so handles from
+    /// earlier issuances of the same id stay dead.
     pub fn subscribe_delta(&mut self) -> DeltaSubscription {
         let tracker = DeltaTracker::new(self.epoch, self.strategies.len());
         for (id, slot) in self.subscriptions.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(tracker);
-                return DeltaSubscription { id };
+            if slot.tracker.is_none() {
+                slot.generation += 1;
+                slot.tracker = Some(tracker);
+                return DeltaSubscription {
+                    id,
+                    generation: slot.generation,
+                };
             }
         }
-        self.subscriptions.push(Some(tracker));
+        self.subscriptions.push(SubscriptionSlot {
+            generation: 0,
+            tracker: Some(tracker),
+        });
         DeltaSubscription {
             id: self.subscriptions.len() - 1,
+            generation: 0,
         }
     }
 
@@ -233,55 +293,132 @@ impl StrategyCatalog {
     /// derived state exactly to the catalog's current state, and the next
     /// drain assumes it was applied.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `subscription` is not registered with this catalog (never
-    /// issued, or released by [`Self::unsubscribe_delta`]).
-    pub fn take_delta(&mut self, subscription: &DeltaSubscription) -> CatalogDelta {
+    /// Returns [`StratRecError::StaleSubscription`] when `subscription` is
+    /// not registered with this catalog: never issued here, released by
+    /// [`Self::unsubscribe_delta`], evicted after lapsing past
+    /// [`Self::delta_lapse_limit`], or an earlier-generation handle of a
+    /// recycled id. The caller must re-subscribe and recompute its derived
+    /// state from scratch.
+    pub fn take_delta(
+        &mut self,
+        subscription: &DeltaSubscription,
+    ) -> Result<CatalogDelta, StratRecError> {
         let epoch = self.epoch;
         let slot_count = self.strategies.len();
         self.subscriptions
             .get_mut(subscription.id)
-            .and_then(Option::as_mut)
-            .expect("delta subscription is not registered with this catalog")
-            .drain(epoch, slot_count)
+            .filter(|slot| slot.generation == subscription.generation)
+            .and_then(|slot| slot.tracker.as_mut())
+            .map(|tracker| tracker.drain(epoch, slot_count))
+            .ok_or(StratRecError::StaleSubscription {
+                id: subscription.id,
+            })
     }
 
-    /// Releases a delta subscription; its id may be reissued by a later
-    /// [`Self::subscribe_delta`]. Unknown handles are ignored.
-    pub fn unsubscribe_delta(&mut self, subscription: DeltaSubscription) {
-        if let Some(slot) = self.subscriptions.get_mut(subscription.id) {
-            *slot = None;
+    /// Releases a delta subscription, returning whether a live tracker was
+    /// released. Stale handles — released, evicted, or an earlier
+    /// generation of a recycled id — are ignored (`false`), so a detached
+    /// holder can never release a *different* subscriber's tracker.
+    pub fn unsubscribe_delta(&mut self, subscription: DeltaSubscription) -> bool {
+        match self.subscriptions.get_mut(subscription.id) {
+            Some(slot) if slot.generation == subscription.generation => {
+                slot.tracker.take().is_some()
+            }
+            _ => false,
         }
     }
 
     /// Number of live delta subscriptions.
     #[must_use]
     pub fn delta_subscriber_count(&self) -> usize {
-        self.subscriptions.iter().flatten().count()
+        self.subscriptions
+            .iter()
+            .filter(|slot| slot.tracker.is_some())
+            .count()
+    }
+
+    /// How many catalog mutations a subscriber may sit through without
+    /// draining before its tracker is evicted (its handles then fail with
+    /// [`StratRecError::StaleSubscription`]). Bounds the cost of leaked
+    /// subscriptions: a `StratRecSession` dropped without detaching stops
+    /// charging per-mutation bookkeeping once it lapses. `u64::MAX`
+    /// disables eviction.
+    #[must_use]
+    pub fn delta_lapse_limit(&self) -> u64 {
+        self.delta_lapse_limit
+    }
+
+    /// Sets [`Self::delta_lapse_limit`] (`u64::MAX` disables eviction).
+    pub fn set_delta_lapse_limit(&mut self, limit: u64) {
+        self.delta_lapse_limit = limit;
+    }
+
+    /// Number of trackers evicted so far for lapsing past
+    /// [`Self::delta_lapse_limit`].
+    #[must_use]
+    pub fn delta_evictions(&self) -> u64 {
+        self.delta_evictions
     }
 
     /// Mutation hook: records a retirement with every tracker (called by
     /// [`Self::retire`](StrategyCatalog::retire) after tombstoning).
     pub(super) fn delta_note_retire(&mut self, slot: usize) {
-        for tracker in self.subscriptions.iter_mut().flatten() {
+        for tracker in self.live_trackers() {
             tracker.note_retire(slot);
         }
+        self.delta_evict_lapsed();
+    }
+
+    /// Mutation hook: inserts carry no per-tracker payload (the drain-time
+    /// append derives them from the width), but they still age every
+    /// pending window (called by
+    /// [`Self::insert`](StrategyCatalog::insert)).
+    pub(super) fn delta_note_insert(&mut self) {
+        self.delta_evict_lapsed();
     }
 
     /// Mutation hook: composes a compaction's remap into every tracker
     /// (called by [`Self::compact`](StrategyCatalog::compact) before the
     /// remap is returned).
     pub(super) fn delta_note_compact(&mut self, remap: &SlotRemap) {
-        for tracker in self.subscriptions.iter_mut().flatten() {
+        for tracker in self.live_trackers() {
             tracker.note_compact(remap);
         }
+        self.delta_evict_lapsed();
+    }
+
+    fn live_trackers(&mut self) -> impl Iterator<Item = &mut DeltaTracker> {
+        self.subscriptions
+            .iter_mut()
+            .filter_map(|slot| slot.tracker.as_mut())
+    }
+
+    /// Ages every pending window by one mutation and evicts trackers that
+    /// lapsed past [`Self::delta_lapse_limit`]. Eviction is safe precisely
+    /// because handles are generation-tagged: the stranded subscriber's
+    /// next drain fails typed instead of aliasing a recycled slot.
+    fn delta_evict_lapsed(&mut self) {
+        let limit = self.delta_lapse_limit;
+        let mut evicted = 0;
+        for slot in &mut self.subscriptions {
+            if let Some(tracker) = slot.tracker.as_mut() {
+                tracker.undrained += 1;
+                if tracker.undrained > limit {
+                    slot.tracker = None;
+                    evicted += 1;
+                }
+            }
+        }
+        self.delta_evictions += evicted;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::{RebuildPolicy, StrategyCatalog};
+    use crate::error::StratRecError;
     use crate::model::{DeploymentParameters, Strategy};
 
     fn strategy(id: u64, q: f64, c: f64, l: f64) -> Strategy {
@@ -297,7 +434,7 @@ mod tests {
         let mut catalog = running_catalog(RebuildPolicy::default());
         let sub = catalog.subscribe_delta();
         assert_eq!(catalog.delta_subscriber_count(), 1);
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         assert!(delta.is_empty());
         assert_eq!(delta.from_epoch, delta.to_epoch);
         assert_eq!(delta.source_cols, 4);
@@ -316,7 +453,7 @@ mod tests {
         let b = catalog.insert(strategy(11, 0.6, 0.2, 0.4));
         assert!(catalog.retire(1));
         assert!(catalog.retire(3));
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         assert!(!delta.is_empty());
         assert_eq!(delta.from_epoch, 0);
         assert_eq!(delta.to_epoch, catalog.epoch());
@@ -328,7 +465,7 @@ mod tests {
 
         // The next window starts clean and rides on the new width.
         assert!(catalog.retire(a));
-        let next = catalog.take_delta(&sub);
+        let next = catalog.take_delta(&sub).unwrap();
         assert_eq!(next.from_epoch, delta.to_epoch);
         assert_eq!(next.source_cols, 6);
         assert_eq!(next.target_cols, 6);
@@ -342,7 +479,7 @@ mod tests {
         let sub = catalog.subscribe_delta();
         let slot = catalog.insert(strategy(10, 0.9, 0.4, 0.2));
         assert!(catalog.retire(slot));
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         // The slot still occupies the numbering, so the subscriber must
         // append a (dead, infeasible) column for it — but it never had a
         // live column to blank.
@@ -368,7 +505,7 @@ mod tests {
             assert!(catalog.retire(full.remap(1).unwrap()));
             let late = catalog.insert(strategy(11, 0.6, 0.2, 0.4));
 
-            let delta = catalog.take_delta(&sub);
+            let delta = catalog.take_delta(&sub).unwrap();
             assert_eq!(delta.source_cols, 4, "{policy:?}");
             assert_eq!(delta.target_cols, catalog.slot_count(), "{policy:?}");
             let remap = delta.remap.as_ref().expect("window crossed a compact");
@@ -399,7 +536,7 @@ mod tests {
         catalog.compact(); // 1→0, 2→1, 3→2
         assert!(catalog.retire(1)); // originally slot 2
         catalog.compact(); // 0→0, 2→1
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         let remap = delta.remap.as_ref().unwrap();
         assert_eq!(remap.len(), 4);
         assert_eq!(remap.remap(0), None);
@@ -420,27 +557,116 @@ mod tests {
         assert!(catalog.retire(1));
         assert_eq!(catalog.delta_subscriber_count(), 2);
 
-        let early_delta = catalog.take_delta(&early);
+        let early_delta = catalog.take_delta(&early).unwrap();
         assert_eq!(early_delta.inserted, vec![4]);
         assert_eq!(early_delta.retired, vec![1]);
-        let late_delta = catalog.take_delta(&late);
+        let late_delta = catalog.take_delta(&late).unwrap();
         assert!(late_delta.inserted.is_empty());
         assert_eq!(late_delta.retired, vec![1]);
 
-        catalog.unsubscribe_delta(early);
+        assert!(catalog.unsubscribe_delta(early));
         assert_eq!(catalog.delta_subscriber_count(), 1);
         let reissued = catalog.subscribe_delta();
         assert_eq!(catalog.delta_subscriber_count(), 2);
         // The freed id is recycled; the reissued tracker starts clean.
-        assert!(catalog.take_delta(&reissued).is_empty());
+        assert_eq!(reissued.id(), early.id());
+        assert!(catalog.take_delta(&reissued).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn draining_a_released_subscription_panics() {
+    fn draining_a_released_subscription_fails_typed() {
         let mut catalog = running_catalog(RebuildPolicy::default());
         let sub = catalog.subscribe_delta();
-        catalog.unsubscribe_delta(sub);
-        let _ = catalog.take_delta(&sub);
+        assert!(catalog.unsubscribe_delta(sub));
+        assert!(!catalog.unsubscribe_delta(sub), "double release is inert");
+        assert_eq!(
+            catalog.take_delta(&sub),
+            Err(StratRecError::StaleSubscription { id: sub.id() })
+        );
+    }
+
+    #[test]
+    fn a_stale_handle_never_drains_a_recycled_id() {
+        // The regression the generation tag exists for: a detached session
+        // keeps a `Copy` of its released handle while a new subscriber is
+        // issued the same id. The stale copy must fail typed instead of
+        // silently draining (and thereby corrupting) the new subscriber's
+        // window.
+        let mut catalog = running_catalog(RebuildPolicy::never());
+        let stale = catalog.subscribe_delta();
+        assert!(catalog.unsubscribe_delta(stale));
+        let fresh = catalog.subscribe_delta();
+        assert_eq!(fresh.id(), stale.id(), "the id is recycled");
+        assert_ne!(fresh, stale, "but the issuance is distinguishable");
+
+        catalog.insert(strategy(10, 0.9, 0.4, 0.2));
+        assert!(catalog.retire(1));
+        assert_eq!(
+            catalog.take_delta(&stale),
+            Err(StratRecError::StaleSubscription { id: stale.id() }),
+            "the stale copy must not drain the recycled slot"
+        );
+        assert!(
+            !catalog.unsubscribe_delta(stale),
+            "nor release the new subscriber"
+        );
+        // The new subscriber's window is intact: both mutations drain.
+        let delta = catalog.take_delta(&fresh).unwrap();
+        assert_eq!(delta.inserted, vec![4]);
+        assert_eq!(delta.retired, vec![1]);
+
+        // A handle from a catalog that never issued this id also fails.
+        let mut other = running_catalog(RebuildPolicy::default());
+        assert_eq!(
+            other.take_delta(&fresh),
+            Err(StratRecError::StaleSubscription { id: fresh.id() })
+        );
+    }
+
+    #[test]
+    fn lapsed_trackers_are_evicted_and_memory_stays_pinned() {
+        // A leaked subscriber (session dropped without `detach()`) must not
+        // keep charging the catalog forever: after `delta_lapse_limit`
+        // mutations without a drain the tracker is evicted, its handle
+        // fails typed, and an active subscriber draining every epoch is
+        // untouched.
+        let mut catalog = running_catalog(RebuildPolicy::threshold(8));
+        catalog.set_delta_lapse_limit(64);
+        assert_eq!(catalog.delta_lapse_limit(), 64);
+        let leaked = catalog.subscribe_delta();
+        let active = catalog.subscribe_delta();
+        for epoch in 0..1_000_u64 {
+            let slot = catalog.insert(strategy(100 + epoch, 0.8, 0.3, 0.3));
+            assert!(catalog.retire(slot));
+            if epoch % 7 == 6 {
+                catalog.compact();
+            }
+            // The active subscriber drains every epoch and never lapses.
+            assert!(!catalog.take_delta(&active).unwrap().is_empty());
+        }
+        assert_eq!(catalog.delta_evictions(), 1, "exactly the leaked tracker");
+        assert_eq!(catalog.delta_subscriber_count(), 1);
+        assert_eq!(
+            catalog.take_delta(&leaked),
+            Err(StratRecError::StaleSubscription { id: leaked.id() })
+        );
+        // The leaked slot is recyclable again — under a new generation.
+        let recycled = catalog.subscribe_delta();
+        assert_eq!(recycled.id(), leaked.id());
+        assert_eq!(catalog.delta_subscriber_count(), 2);
+        assert!(catalog.take_delta(&recycled).unwrap().is_empty());
+    }
+
+    #[test]
+    fn the_default_lapse_limit_spares_slow_but_live_subscribers() {
+        let mut catalog = running_catalog(RebuildPolicy::threshold(8));
+        let slow = catalog.subscribe_delta();
+        // Well under DEFAULT_DELTA_LAPSE_LIMIT mutations: nothing evicts.
+        for i in 0..200_u64 {
+            catalog.insert(strategy(50 + i, 0.7, 0.4, 0.4));
+        }
+        assert_eq!(catalog.delta_evictions(), 0);
+        let delta = catalog.take_delta(&slow).unwrap();
+        assert_eq!(delta.inserted.len(), 200);
     }
 }

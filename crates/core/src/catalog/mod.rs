@@ -72,10 +72,12 @@ mod axis;
 mod compact;
 mod delta;
 mod overlay;
+mod snapshot;
 pub(crate) mod soa;
 
 pub use compact::SlotRemap;
-pub use delta::{CatalogDelta, DeltaSubscription};
+pub use delta::{CatalogDelta, DeltaSubscription, DEFAULT_DELTA_LAPSE_LIMIT};
+pub use snapshot::{ConcurrentCatalog, EpochSnapshot, SnapshotReader};
 
 use serde::{Deserialize, Serialize};
 use stratrec_geometry::{Aabb3, Point3, RTree};
@@ -187,8 +189,14 @@ pub struct StrategyCatalog {
     /// or retiring the last tail slot).
     axis_tail_sorted: bool,
     /// Per-subscriber churn accumulation for delta-maintained derived state
-    /// ([`delta`]); `None` entries are released ids awaiting reuse.
-    subscriptions: Vec<Option<delta::DeltaTracker>>,
+    /// ([`delta`]): generation-tagged tracker slots; empty trackers are
+    /// released ids awaiting reuse under a bumped generation.
+    subscriptions: Vec<delta::SubscriptionSlot>,
+    /// Mutations a subscriber may sit through without draining before its
+    /// tracker is evicted ([`Self::delta_lapse_limit`]).
+    delta_lapse_limit: u64,
+    /// Trackers evicted so far for lapsing ([`Self::delta_evictions`]).
+    delta_evictions: u64,
     /// Columnar mirror of `strategies` + `live` for the workforce kernel
     /// ([`soa`]): per-axis parameter columns and a packed liveness bitmap,
     /// maintained exactly at every insert/retire/compact.
@@ -240,8 +248,24 @@ impl StrategyCatalog {
             axis_tail: [Vec::new(), Vec::new(), Vec::new()],
             axis_tail_sorted: true,
             subscriptions: Vec::new(),
+            delta_lapse_limit: delta::DEFAULT_DELTA_LAPSE_LIMIT,
+            delta_evictions: 0,
             soa,
         }
+    }
+
+    /// A clone of this catalog's **read state** — strategies, points,
+    /// liveness, R-tree, axis orders, SoA mirror, epoch — with the
+    /// subscription table left behind. This is what an [`EpochSnapshot`]
+    /// captures: subscriptions are writer-side lifecycle state (draining
+    /// them requires `&mut`), so an immutable snapshot carrying them would
+    /// only mislead.
+    #[must_use]
+    pub fn detached_clone(&self) -> Self {
+        let mut clone = self.clone();
+        clone.subscriptions = Vec::new();
+        clone.delta_evictions = 0;
+        clone
     }
 
     /// Builds a catalog from a borrowed strategy slice (cloning it once).

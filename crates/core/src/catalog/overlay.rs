@@ -39,6 +39,7 @@ impl StrategyCatalog {
         self.live_count += 1;
         self.tail.push(slot);
         self.axis_tail_insert(slot);
+        self.delta_note_insert();
         self.epoch += 1;
         self.maybe_merge();
         slot

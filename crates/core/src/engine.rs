@@ -652,7 +652,7 @@ mod tests {
                 if window == 1 {
                     catalog.compact();
                 }
-                let delta = catalog.take_delta(&sub);
+                let delta = catalog.take_delta(&sub).unwrap();
                 let fresh = WorkforceMatrix::compute_with_catalog_precision(
                     &requests, &catalog, &models, rule, precision,
                 )

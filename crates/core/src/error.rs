@@ -34,6 +34,19 @@ pub enum StratRecError {
         /// Identifier of the strategy whose model is missing.
         strategy: u64,
     },
+    /// A [`crate::catalog::DeltaSubscription`] handle no longer names a live
+    /// tracker on this catalog: it was released by
+    /// [`crate::catalog::StrategyCatalog::unsubscribe_delta`], evicted after
+    /// lapsing past the catalog's
+    /// [`delta_lapse_limit`](crate::catalog::StrategyCatalog::delta_lapse_limit),
+    /// or issued by a different catalog. Handles are generation-tagged, so a
+    /// stale copy can never silently drain a newer subscriber that recycled
+    /// the same id — the drain fails with this error instead. Recover by
+    /// re-subscribing and recomputing the derived state from scratch.
+    StaleSubscription {
+        /// The id carried by the rejected handle.
+        id: usize,
+    },
     /// Derived data was pinned at a catalog epoch the catalog has moved past
     /// (an insert, retire or compaction happened since): its slot references
     /// may be renumbered or reclaimed, so the operation refuses to run
@@ -70,6 +83,12 @@ impl std::fmt::Display for StratRecError {
             Self::MissingModel { strategy } => {
                 write!(f, "no fitted model for strategy {strategy}")
             }
+            Self::StaleSubscription { id } => write!(
+                f,
+                "delta subscription {id} is not registered with this catalog \
+                 (released, evicted after lapsing, or issued elsewhere); \
+                 re-subscribe and recompute the derived state"
+            ),
             Self::StaleCatalog { expected, found } => write!(
                 f,
                 "catalog moved to epoch {found} but the problem was built at epoch {expected}; \
@@ -109,6 +128,7 @@ mod tests {
                 "2 strategies",
             ),
             (StratRecError::MissingModel { strategy: 7 }, "strategy 7"),
+            (StratRecError::StaleSubscription { id: 4 }, "subscription 4"),
             (
                 StratRecError::StaleCatalog {
                     expected: 3,

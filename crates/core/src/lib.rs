@@ -77,7 +77,8 @@ pub mod prelude {
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
     pub use crate::catalog::{
-        CatalogDelta, DeltaSubscription, RebuildPolicy, SlotRemap, StrategyCatalog,
+        CatalogDelta, ConcurrentCatalog, DeltaSubscription, EpochSnapshot, RebuildPolicy,
+        SlotRemap, SnapshotReader, StrategyCatalog,
     };
     pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;
@@ -86,7 +87,9 @@ pub mod prelude {
         Structure, Style, TaskType,
     };
     pub use crate::modeling::{LinearModel, ModelLibrary, ParameterKind, StrategyModel};
-    pub use crate::stratrec::{StratRec, StratRecConfig, StratRecReport, StratRecSession};
+    pub use crate::stratrec::{
+        SnapshotSession, StratRec, StratRecConfig, StratRecReport, StratRecSession,
+    };
     pub use crate::workforce::{
         AggregationCache, AggregationMode, EligibilityRule, Precision, RequestRequirement,
         WorkforceMatrix,

@@ -17,10 +17,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::adpar::AdparSolution;
 use crate::availability::{AvailabilityPdf, WorkerAvailability};
 use crate::batch::{BatchObjective, BatchOutcome, BatchStrat};
-use crate::catalog::{DeltaSubscription, StrategyCatalog};
+use crate::catalog::{DeltaSubscription, EpochSnapshot, SnapshotReader, StrategyCatalog};
 use crate::engine::BatchEngine;
 use crate::error::StratRecError;
 use crate::model::{DeploymentRequest, Strategy};
@@ -270,61 +272,259 @@ impl StratRec {
                     && cache.k() == self.config.k
                     && cache.mode() == self.config.aggregation
         );
-        if !reusable {
-            session.detach(catalog);
-            // Refill into the stale matrix when the session still holds one:
-            // a full recompute either way, but the tens-of-megabytes cell
-            // allocation survives rebuild triggers.
-            let mut matrix = session
-                .matrix
-                .take()
-                .unwrap_or_else(|| WorkforceMatrix::from_cells(0, 0, Vec::new()));
-            self.engine.refill_workforce_matrix_with_scratch(
-                requests,
-                catalog,
-                models,
-                aggregator.eligibility,
-                &mut matrix,
-                &mut session.model_buf,
-            )?;
-            let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
-            cache.prime(&matrix);
-            session.last_repaired_rows = matrix.rows();
-            // Subscribe *after* the compute: both observe the same epoch
-            // (the caller holds the catalog exclusively throughout).
-            session.subscription = Some(catalog.subscribe_delta());
-            session.matrix = Some(matrix);
-            session.cache = Some(cache);
-            return Ok(());
+        if reusable {
+            let subscription = session
+                .subscription
+                .as_ref()
+                .expect("reusable sessions hold a subscription");
+            // A stale handle (the session's tracker was evicted after
+            // lapsing, or the session was moved across catalogs without a
+            // detach) fails typed; fall through to the full re-prime below
+            // instead of mis-applying another subscriber's window.
+            if let Ok(delta) = catalog.take_delta(subscription) {
+                if delta.is_empty() {
+                    session.last_repaired_rows = 0;
+                    return Ok(());
+                }
+                let matrix = session
+                    .matrix
+                    .as_mut()
+                    .expect("reusable sessions hold a matrix");
+                let cache = session
+                    .cache
+                    .as_mut()
+                    .expect("reusable sessions hold a cache");
+                self.engine.apply_matrix_delta(
+                    matrix,
+                    &delta,
+                    requests,
+                    catalog,
+                    models,
+                    aggregator.eligibility,
+                    &mut session.model_buf,
+                )?;
+                session.last_repaired_rows = cache.repair(matrix, &delta);
+                return Ok(());
+            }
         }
-        let subscription = session
-            .subscription
-            .as_ref()
-            .expect("reusable sessions hold a subscription");
-        let delta = catalog.take_delta(subscription);
-        if delta.is_empty() {
-            session.last_repaired_rows = 0;
-            return Ok(());
-        }
-        let matrix = session
+        session.detach(catalog);
+        // Refill into the stale matrix when the session still holds one:
+        // a full recompute either way, but the tens-of-megabytes cell
+        // allocation survives rebuild triggers.
+        let mut matrix = session
             .matrix
-            .as_mut()
-            .expect("reusable sessions hold a matrix");
-        let cache = session
-            .cache
-            .as_mut()
-            .expect("reusable sessions hold a cache");
-        self.engine.apply_matrix_delta(
-            matrix,
-            &delta,
+            .take()
+            .unwrap_or_else(|| WorkforceMatrix::from_cells(0, 0, Vec::new()));
+        self.engine.refill_workforce_matrix_with_scratch(
             requests,
             catalog,
             models,
             aggregator.eligibility,
+            &mut matrix,
             &mut session.model_buf,
         )?;
-        session.last_repaired_rows = cache.repair(matrix, &delta);
+        let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
+        cache.prime(&matrix);
+        session.last_repaired_rows = matrix.rows();
+        // Subscribe *after* the compute: both observe the same epoch
+        // (the caller holds the catalog exclusively throughout).
+        session.subscription = Some(catalog.subscribe_delta());
+        session.matrix = Some(matrix);
+        session.cache = Some(cache);
         Ok(())
+    }
+
+    /// The **concurrent** counterpart of [`Self::process_batch_with_session`]:
+    /// serves the standing batch from the [`EpochSnapshot`]s a
+    /// [`ConcurrentCatalog`](crate::catalog::ConcurrentCatalog) publishes,
+    /// while a writer thread keeps churning. Each call first migrates
+    /// `reader` to the latest published snapshot
+    /// ([`SnapshotReader::migrate`] — the only moment any lock is touched),
+    /// folds the drained [`crate::catalog::CatalogDelta`] into the
+    /// session's workforce matrix and aggregation cache exactly like the
+    /// sequential delta path, then plans the batch **entirely lock-free**
+    /// against the pinned snapshot. The report is identical to
+    /// [`Self::process_batch_with_catalog`] over the snapshot's catalog
+    /// (pinned by `tests/snapshot_isolation.rs` with readers racing a
+    /// churning writer), and the snapshot the report was planned against is
+    /// returned alongside it so callers can attribute the answer to its
+    /// epoch.
+    ///
+    /// Recovery is built in: a reader evicted for lapsing past the
+    /// catalog's delta-lapse limit re-pins and recomputes from scratch
+    /// instead of failing, and any error resets the session so the next
+    /// call re-primes (the reader's subscription itself is RAII-released on
+    /// drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a live strategy of the
+    /// pinned snapshot (full compute) or an inserted live slot (delta path)
+    /// has no fitted model in `models`.
+    pub fn process_batch_with_reader(
+        &self,
+        requests: &[DeploymentRequest],
+        reader: &mut SnapshotReader,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+        session: &mut SnapshotSession,
+    ) -> Result<(StratRecReport, Arc<EpochSnapshot>), StratRecError> {
+        let expected = availability.expectation();
+        let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
+        let snapshot =
+            match self.sync_snapshot_session(requests, reader, models, &aggregator, session) {
+                Ok(snapshot) => snapshot,
+                Err(error) => {
+                    session.reset();
+                    return Err(error);
+                }
+            };
+        let cache = session
+            .cache
+            .as_ref()
+            .expect("sync_snapshot_session leaves the session primed");
+        let batch = aggregator.select(requests, cache.requirements(), expected);
+        let solutions = self.engine.solve_adpar_batch(
+            requests,
+            snapshot.catalog(),
+            &batch.unsatisfied,
+            self.config.k,
+        );
+        let alternatives = batch
+            .unsatisfied
+            .iter()
+            .zip(solutions)
+            .map(|(&request_index, solution)| AlternativeRecommendation {
+                request_index,
+                solution,
+            })
+            .collect();
+        let report = StratRecReport {
+            availability: expected,
+            batch,
+            alternatives,
+        };
+        Ok((report, snapshot))
+    }
+
+    /// Brings a snapshot-serving session to the latest published epoch: the
+    /// delta path when the session is primed and the reader's subscription
+    /// is live, a re-pin + full recompute otherwise (first call, shape or
+    /// config change, or the reader was evicted for lapsing).
+    fn sync_snapshot_session(
+        &self,
+        requests: &[DeploymentRequest],
+        reader: &mut SnapshotReader,
+        models: &ModelLibrary,
+        aggregator: &BatchStrat,
+        session: &mut SnapshotSession,
+    ) -> Result<Arc<EpochSnapshot>, StratRecError> {
+        let reusable = matches!(
+            (&session.matrix, &session.cache),
+            (Some(matrix), Some(cache))
+                if matrix.rows() == requests.len()
+                    && matrix.precision() == self.engine.precision()
+                    && cache.k() == self.config.k
+                    && cache.mode() == self.config.aggregation
+        );
+        if reusable {
+            // An evicted reader fails the migration typed
+            // (StaleSubscription); fall through to the re-pin + full
+            // recompute below instead of serving from a torn delta window.
+            if let Ok(delta) = reader.migrate() {
+                let snapshot = Arc::clone(reader.pinned());
+                if delta.is_empty() {
+                    session.last_repaired_rows = 0;
+                    return Ok(snapshot);
+                }
+                let matrix = session
+                    .matrix
+                    .as_mut()
+                    .expect("reusable sessions hold a matrix");
+                let cache = session
+                    .cache
+                    .as_mut()
+                    .expect("reusable sessions hold a cache");
+                self.engine.apply_matrix_delta(
+                    matrix,
+                    &delta,
+                    requests,
+                    snapshot.catalog(),
+                    models,
+                    aggregator.eligibility,
+                    &mut session.model_buf,
+                )?;
+                session.last_repaired_rows = cache.repair(matrix, &delta);
+                return Ok(snapshot);
+            }
+        }
+        // Full path: re-subscribe and pin the same epoch atomically, then
+        // compute everything against that snapshot.
+        let snapshot = reader.re_pin();
+        session.cache = None;
+        let mut matrix = session
+            .matrix
+            .take()
+            .unwrap_or_else(|| WorkforceMatrix::from_cells(0, 0, Vec::new()));
+        self.engine.refill_workforce_matrix_with_scratch(
+            requests,
+            snapshot.catalog(),
+            models,
+            aggregator.eligibility,
+            &mut matrix,
+            &mut session.model_buf,
+        )?;
+        let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
+        cache.prime(&matrix);
+        session.last_repaired_rows = matrix.rows();
+        session.matrix = Some(matrix);
+        session.cache = Some(cache);
+        Ok(snapshot)
+    }
+}
+
+/// Reusable cross-epoch state for [`StratRec::process_batch_with_reader`]:
+/// the delta-maintained workforce matrix, the lazily repaired
+/// [`AggregationCache`] and the model collection buffer. Unlike
+/// [`StratRecSession`] it holds **no** subscription — the
+/// [`SnapshotReader`] owns that (and releases it on drop), so the session
+/// is pure derived state: resettable at any time, recomputed from whatever
+/// snapshot the reader pins next.
+#[derive(Debug, Default)]
+pub struct SnapshotSession {
+    matrix: Option<WorkforceMatrix>,
+    cache: Option<AggregationCache>,
+    model_buf: Vec<Option<StrategyModel>>,
+    last_repaired_rows: usize,
+}
+
+impl SnapshotSession {
+    /// An empty session; the first [`StratRec::process_batch_with_reader`]
+    /// call initializes it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The delta-maintained workforce matrix, once initialized.
+    #[must_use]
+    pub fn matrix(&self) -> Option<&WorkforceMatrix> {
+        self.matrix.as_ref()
+    }
+
+    /// How many aggregation rows the most recent call re-aggregated: the
+    /// full row count on (re-)initialization or recovery, then only the
+    /// churn-affected rows.
+    #[must_use]
+    pub fn last_repaired_rows(&self) -> usize {
+        self.last_repaired_rows
+    }
+
+    /// Drops the derived state so the next call recomputes from scratch
+    /// (the reader's subscription is untouched — it re-pins on that call).
+    pub fn reset(&mut self) {
+        self.matrix = None;
+        self.cache = None;
     }
 }
 
@@ -661,6 +861,279 @@ mod tests {
             .unwrap();
         assert_eq!(report, full);
         assert_eq!(session.last_repaired_rows(), requests.len());
+    }
+
+    fn fixture_strategy(id: u64) -> Strategy {
+        Strategy::from_params(
+            id,
+            crate::model::DeploymentParameters::clamped(
+                0.4 + (id as f64 * 0.13) % 0.5,
+                0.25 + (id as f64 * 0.17) % 0.6,
+                0.2 + (id as f64 * 0.23) % 0.6,
+            ),
+        )
+    }
+
+    fn fixture_model(id: u64) -> crate::modeling::StrategyModel {
+        let alpha = 0.45 + (id % 35) as f64 / 100.0;
+        crate::modeling::StrategyModel::uniform(alpha, 1.0 - alpha)
+    }
+
+    #[test]
+    fn reader_sessions_match_the_full_pipeline_across_published_epochs() {
+        let (catalog, mut models, requests, availability) = session_fixture();
+        let concurrent = crate::catalog::ConcurrentCatalog::new(catalog);
+        let layer = StratRec::default().with_engine(BatchEngine::with_threads(2));
+        let mut reader = concurrent.reader();
+        let mut session = SnapshotSession::new();
+        let mut next_id = 18_u64;
+        for epoch in 0..6 {
+            if epoch > 0 {
+                for _ in 0..2 {
+                    let strategy = fixture_strategy(next_id);
+                    models.insert(strategy.id, fixture_model(next_id));
+                    next_id += 1;
+                    concurrent.update(|catalog| {
+                        catalog.insert(strategy.clone());
+                        let live = catalog.live_indices();
+                        assert!(catalog.retire(live[epoch % live.len()]));
+                    });
+                }
+                if epoch == 3 {
+                    concurrent.update(|catalog| {
+                        catalog.compact();
+                    });
+                }
+            }
+            let (report, snapshot) = layer
+                .process_batch_with_reader(
+                    &requests,
+                    &mut reader,
+                    &models,
+                    &availability,
+                    &mut session,
+                )
+                .unwrap();
+            assert_eq!(snapshot.epoch(), concurrent.epoch(), "epoch {epoch}");
+            let full = layer
+                .process_batch_with_catalog(&requests, snapshot.catalog(), &models, &availability)
+                .unwrap();
+            assert_eq!(report, full, "epoch {epoch}");
+            if epoch == 0 {
+                assert_eq!(session.last_repaired_rows(), requests.len());
+            } else {
+                assert!(session.last_repaired_rows() <= requests.len());
+            }
+            assert_eq!(session.matrix().unwrap().cols(), snapshot.slot_count());
+        }
+        assert_eq!(concurrent.subscriber_count(), 1);
+        drop(reader);
+        assert_eq!(concurrent.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn evicted_readers_recover_with_a_full_recompute() {
+        let (mut catalog, mut models, requests, availability) = session_fixture();
+        catalog.set_delta_lapse_limit(8);
+        let concurrent = crate::catalog::ConcurrentCatalog::new(catalog);
+        let layer = StratRec::default();
+        let mut reader = concurrent.reader();
+        let mut session = SnapshotSession::new();
+        layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        // Stall the reader far past the lapse limit: its tracker is evicted.
+        for i in 0..20_u64 {
+            let strategy = fixture_strategy(100 + i);
+            models.insert(strategy.id, fixture_model(100 + i));
+            concurrent.update(|catalog| catalog.insert(strategy.clone()));
+        }
+        // The next call transparently re-pins and recomputes from scratch.
+        let (report, snapshot) = layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        assert_eq!(
+            session.last_repaired_rows(),
+            requests.len(),
+            "full re-prime"
+        );
+        let full = layer
+            .process_batch_with_catalog(&requests, snapshot.catalog(), &models, &availability)
+            .unwrap();
+        assert_eq!(report, full);
+        assert_eq!(concurrent.subscriber_count(), 1, "one live re-subscription");
+    }
+
+    #[test]
+    fn reader_sessions_reset_on_error_and_recover() {
+        let (catalog, mut models, requests, availability) = session_fixture();
+        let concurrent = crate::catalog::ConcurrentCatalog::new(catalog);
+        let layer = StratRec::default();
+        let mut reader = concurrent.reader();
+        let mut session = SnapshotSession::new();
+        layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        let orphan = fixture_strategy(900);
+        concurrent.update(|catalog| catalog.insert(orphan.clone()));
+        assert!(matches!(
+            layer.process_batch_with_reader(
+                &requests,
+                &mut reader,
+                &models,
+                &availability,
+                &mut session,
+            ),
+            Err(StratRecError::MissingModel { strategy: 900 })
+        ));
+        assert!(session.matrix().is_none(), "errors reset the session");
+        models.insert(orphan.id, fixture_model(900));
+        let (report, snapshot) = layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        let full = layer
+            .process_batch_with_catalog(&requests, snapshot.catalog(), &models, &availability)
+            .unwrap();
+        assert_eq!(report, full);
+        assert_eq!(session.last_repaired_rows(), requests.len());
+        assert_eq!(concurrent.subscriber_count(), 1);
+    }
+
+    /// The detach-on-error audit: every error exit of
+    /// `process_batch_with_session` releases the catalog-side subscription,
+    /// and the stale handle the session dropped can never drain a newer
+    /// subscriber that recycled the same id.
+    #[test]
+    fn every_session_error_exit_releases_the_subscription() {
+        let (mut catalog, mut models, requests, availability) = session_fixture();
+        let layer = StratRec::default();
+
+        // Error on the *priming* path: a live strategy with no model fails
+        // the very first call — no subscription may survive it.
+        let orphan_a = fixture_strategy(901);
+        catalog.insert(orphan_a.clone());
+        let mut session = StratRecSession::new();
+        assert!(layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .is_err());
+        assert_eq!(catalog.delta_subscriber_count(), 0, "prime error detaches");
+
+        // Error on the *delta* path: prime successfully, then churn in a
+        // modelless insert.
+        models.insert(orphan_a.id, fixture_model(901));
+        layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .unwrap();
+        assert_eq!(catalog.delta_subscriber_count(), 1);
+        let orphan_b = fixture_strategy(902);
+        catalog.insert(orphan_b.clone());
+        assert!(layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .is_err());
+        assert_eq!(catalog.delta_subscriber_count(), 0, "delta error detaches");
+
+        // The freed id is recycled by a second session. The errored session
+        // recovers with a full recompute + fresh generation-tagged handle —
+        // and both coexist without draining each other's windows.
+        models.insert(orphan_b.id, fixture_model(902));
+        let mut second = StratRecSession::new();
+        layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut second,
+            )
+            .unwrap();
+        layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .unwrap();
+        assert_eq!(catalog.delta_subscriber_count(), 2);
+        let extra = fixture_strategy(903);
+        models.insert(extra.id, fixture_model(903));
+        catalog.insert(extra.clone());
+        let full = layer
+            .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+            .unwrap();
+        for s in [&mut second, &mut session] {
+            let report = layer
+                .process_batch_with_session(&requests, &mut catalog, &models, &availability, s)
+                .unwrap();
+            assert_eq!(report, full, "both sessions absorb the same delta once");
+        }
+        session.detach(&mut catalog);
+        second.detach(&mut catalog);
+        assert_eq!(catalog.delta_subscriber_count(), 0);
+    }
+
+    /// A session whose tracker was evicted for lapsing keeps working: the
+    /// stale handle fails typed inside `sync_session`, which falls back to
+    /// a full recompute and a fresh subscription.
+    #[test]
+    fn sessions_survive_delta_tracker_eviction() {
+        let (mut catalog, mut models, requests, availability) = session_fixture();
+        catalog.set_delta_lapse_limit(8);
+        let layer = StratRec::default();
+        let mut session = StratRecSession::new();
+        layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .unwrap();
+        for i in 0..20_u64 {
+            let strategy = fixture_strategy(300 + i);
+            models.insert(strategy.id, fixture_model(300 + i));
+            catalog.insert(strategy);
+        }
+        assert_eq!(catalog.delta_evictions(), 1, "the stalled tracker lapsed");
+        let report = layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .unwrap();
+        assert_eq!(
+            session.last_repaired_rows(),
+            requests.len(),
+            "full re-prime"
+        );
+        let full = layer
+            .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+            .unwrap();
+        assert_eq!(report, full);
+        assert_eq!(catalog.delta_subscriber_count(), 1);
     }
 
     #[test]

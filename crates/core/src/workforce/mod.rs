@@ -1333,7 +1333,7 @@ mod tests {
                         next_id += 1;
                     }
 
-                    let delta = catalog.take_delta(&sub);
+                    let delta = catalog.take_delta(&sub).unwrap();
                     matrix
                         .apply_delta_with_scratch(
                             &delta,
@@ -1379,7 +1379,7 @@ mod tests {
             WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule).unwrap();
         let sub = catalog.subscribe_delta();
         assert!(catalog.retire(0));
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         // The catalog mutates again before the delta is applied.
         assert!(catalog.retire(1));
         let before = matrix.clone();
@@ -1399,7 +1399,7 @@ mod tests {
         let sub = catalog.subscribe_delta();
         catalog.insert(varied_strategy(999)); // no model registered
         assert!(catalog.retire(0));
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         let before = matrix.clone();
         assert!(matches!(
             matrix.apply_delta(&delta, &requests, &catalog, &models, rule),
@@ -1418,14 +1418,14 @@ mod tests {
         let mut matrix =
             WorkforceMatrix::compute_with_catalog(&[], &catalog, &empty_models, rule).unwrap();
         let sub = catalog.subscribe_delta();
-        let noop = catalog.take_delta(&sub);
+        let noop = catalog.take_delta(&sub).unwrap();
         assert!(noop.is_empty());
         matrix
             .apply_delta(&noop, &[], &catalog, &empty_models, rule)
             .unwrap();
         catalog.insert(varied_strategy(500));
         assert!(catalog.retire(3));
-        let delta = catalog.take_delta(&sub);
+        let delta = catalog.take_delta(&sub).unwrap();
         matrix
             .apply_delta(&delta, &[], &catalog, &empty_models, rule)
             .unwrap();

@@ -17,6 +17,10 @@
 //!   with strategy insert/retire, driving the mutable catalog's
 //!   log-structured overlay against the rebuild-per-epoch baseline
 //!   ([`churn`]).
+//! * **Churn-vs-serve stress histories** — the same epoch streams driven
+//!   through the concurrent snapshot catalog: one writer thread publishing
+//!   epochs while reader threads serve lock-free, with every read recorded
+//!   for after-the-fact snapshot-isolation checking ([`stress`]).
 
 #![forbid(unsafe_code)]
 
@@ -25,9 +29,11 @@ pub mod model_gen;
 pub mod request_gen;
 pub mod scenario;
 pub mod strategy_gen;
+pub mod stress;
 
 pub use churn::{ChurnEpoch, ChurnInstance, ChurnScenario};
 pub use model_gen::generate_models;
 pub use request_gen::generate_requests;
 pub use scenario::{AdparScenario, BatchScenario, ParameterDistribution};
 pub use strategy_gen::generate_strategies;
+pub use stress::{run_churn_stress, ReadRecord, StressHistory};

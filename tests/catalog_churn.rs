@@ -205,7 +205,7 @@ proptest! {
             // bit-identity against a fresh recompute / re-aggregation.
             let mut deltas = Vec::new();
             for (catalog, state) in catalogs.iter_mut().zip(&mut maintained) {
-                let delta = catalog.take_delta(&state.subscription);
+                let delta = catalog.take_delta(&state.subscription).unwrap();
                 state
                     .matrix
                     .apply_delta_with_scratch(
@@ -309,7 +309,7 @@ proptest! {
             // Merges and rebuilds are not mutations of the live set: the
             // delta feed stays silent and the maintained matrix stays
             // current.
-            let delta = catalog.take_delta(&state.subscription);
+            let delta = catalog.take_delta(&state.subscription).unwrap();
             prop_assert!(delta.is_empty(), "merge/rebuild must not emit churn");
         }
     }
