@@ -183,6 +183,11 @@ impl StrategyCatalog {
             target_epoch: self.epoch,
         };
         self.delta_note_compact(&remap);
+        if self.journal_enabled() {
+            self.journal_note(super::CatalogMutation::Compact {
+                remap: remap.clone(),
+            });
+        }
         remap
     }
 }

@@ -77,7 +77,7 @@ pub(crate) mod soa;
 
 pub use compact::SlotRemap;
 pub use delta::{CatalogDelta, DeltaSubscription, DEFAULT_DELTA_LAPSE_LIMIT};
-pub use snapshot::{ConcurrentCatalog, EpochSnapshot, SnapshotReader};
+pub use snapshot::{CatalogStats, ConcurrentCatalog, EpochSnapshot, SnapshotReader};
 
 use serde::{Deserialize, Serialize};
 use stratrec_geometry::{Aabb3, Point3, RTree};
@@ -134,6 +134,52 @@ impl RebuildPolicy {
 impl Default for RebuildPolicy {
     fn default() -> Self {
         Self::threshold(DEFAULT_REBUILD_THRESHOLD)
+    }
+}
+
+/// One catalog mutation, as recorded by the mutation journal
+/// ([`StrategyCatalog::enable_journal`]) in the order it was applied. This
+/// is the unit a write-ahead logger persists: replaying the sequence through
+/// [`StrategyCatalog::insert`] / [`StrategyCatalog::retire`] /
+/// [`StrategyCatalog::compact`] against the same starting state rebuilds the
+/// catalog exactly (slot numbering included — inserts record the slot they
+/// landed on and compactions the [`SlotRemap`] they produced, so replay can
+/// verify itself record by record).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CatalogMutation {
+    /// A [`StrategyCatalog::insert`]: `strategy` landed on `slot`.
+    Insert {
+        /// The stable slot index the insert returned.
+        slot: usize,
+        /// The inserted strategy.
+        strategy: Strategy,
+        /// The catalog epoch right after the insert.
+        epoch_after: u64,
+    },
+    /// A live-slot [`StrategyCatalog::retire`] (no-op retires are not
+    /// journaled — they do not mutate the catalog).
+    Retire {
+        /// The retired slot.
+        slot: usize,
+        /// The catalog epoch right after the retirement.
+        epoch_after: u64,
+    },
+    /// A [`StrategyCatalog::compact`], carrying the full remap (its
+    /// [`SlotRemap::target_epoch`] is the epoch after the compaction).
+    Compact {
+        /// The old→new renumbering the compaction returned.
+        remap: SlotRemap,
+    },
+}
+
+impl CatalogMutation {
+    /// The catalog epoch right after this mutation was applied.
+    #[must_use]
+    pub fn epoch_after(&self) -> u64 {
+        match self {
+            Self::Insert { epoch_after, .. } | Self::Retire { epoch_after, .. } => *epoch_after,
+            Self::Compact { remap } => remap.target_epoch(),
+        }
     }
 }
 
@@ -201,6 +247,12 @@ pub struct StrategyCatalog {
     /// ([`soa`]): per-axis parameter columns and a packed liveness bitmap,
     /// maintained exactly at every insert/retire/compact.
     soa: soa::SoaBlock,
+    /// Mutation journal for the durable tier: when enabled
+    /// ([`Self::enable_journal`]), every insert / live retire / compact
+    /// appends a [`CatalogMutation`] for a write-ahead logger to drain
+    /// ([`Self::take_journal`]). `None` (the default) costs nothing on the
+    /// mutation paths.
+    journal: Option<Vec<CatalogMutation>>,
 }
 
 /// Margin added to eligibility query boxes so the R-tree pass is a strict
@@ -251,21 +303,120 @@ impl StrategyCatalog {
             delta_lapse_limit: delta::DEFAULT_DELTA_LAPSE_LIMIT,
             delta_evictions: 0,
             soa,
+            journal: None,
+        }
+    }
+
+    /// Restores a catalog from checkpointed slot state: the slot-parallel
+    /// `(strategy, liveness)` pairs of the numbering in force at `epoch`,
+    /// exactly as [`Self::strategies`] + [`Self::is_live`] would report
+    /// them. The result is **observably identical** to the catalog the
+    /// checkpoint captured — same eligibility answers, axis orders, SoA
+    /// mirror, slot numbering and epoch — because all of those are functions
+    /// of the slot contents alone; only the R-tree's internal shape (merge
+    /// history) and the merge counter differ, and no query depends on
+    /// either. The overlay starts empty and the index packed, as after
+    /// [`Self::force_rebuild`].
+    #[must_use]
+    pub fn from_checkpoint_parts(
+        slots: Vec<(Strategy, bool)>,
+        epoch: u64,
+        policy: RebuildPolicy,
+    ) -> Self {
+        let mut strategies = Vec::with_capacity(slots.len());
+        let mut live = Vec::with_capacity(slots.len());
+        for (strategy, is_live) in slots {
+            strategies.push(strategy);
+            live.push(is_live);
+        }
+        let points: Vec<Point3> = strategies
+            .iter()
+            .map(Strategy::to_normalized_point)
+            .collect();
+        let live_count = live.iter().filter(|&&l| l).count();
+        let live_entries: Vec<(usize, Point3)> = points
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| live[i])
+            .collect();
+        let live_slots: Vec<usize> = live_entries.iter().map(|&(i, _)| i).collect();
+        let index =
+            RTree::bulk_load_entries(live_entries, stratrec_geometry::DEFAULT_NODE_CAPACITY);
+        let axis_base = sorted_axis_orders(&points, live_slots);
+        let soa = soa::SoaBlock::build(&strategies, &live);
+        Self {
+            live,
+            live_count,
+            strategies,
+            points,
+            index,
+            tail: Vec::new(),
+            pending_tombstones: Vec::new(),
+            policy,
+            epoch,
+            merges: 0,
+            packed: true,
+            axis_base,
+            axis_tail: [Vec::new(), Vec::new(), Vec::new()],
+            axis_tail_sorted: true,
+            subscriptions: Vec::new(),
+            delta_lapse_limit: delta::DEFAULT_DELTA_LAPSE_LIMIT,
+            delta_evictions: 0,
+            soa,
+            journal: None,
         }
     }
 
     /// A clone of this catalog's **read state** — strategies, points,
     /// liveness, R-tree, axis orders, SoA mirror, epoch — with the
-    /// subscription table left behind. This is what an [`EpochSnapshot`]
-    /// captures: subscriptions are writer-side lifecycle state (draining
-    /// them requires `&mut`), so an immutable snapshot carrying them would
-    /// only mislead.
+    /// subscription table and the mutation journal left behind. This is what
+    /// an [`EpochSnapshot`] captures: subscriptions and the journal are
+    /// writer-side lifecycle state (draining them requires `&mut`), so an
+    /// immutable snapshot carrying them would only mislead.
     #[must_use]
     pub fn detached_clone(&self) -> Self {
         let mut clone = self.clone();
         clone.subscriptions = Vec::new();
         clone.delta_evictions = 0;
+        clone.journal = None;
         clone
+    }
+
+    /// Turns the mutation journal on: from now on every [`Self::insert`],
+    /// live [`Self::retire`] and [`Self::compact`] appends a
+    /// [`CatalogMutation`] for [`Self::take_journal`] to drain. Idempotent;
+    /// the durable tier enables this on its writer catalog so mutations can
+    /// be write-ahead-logged before publication.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Whether the mutation journal is recording.
+    #[must_use]
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drains the journaled mutations accumulated since the last drain, in
+    /// application order. Empty when the journal is disabled or nothing
+    /// mutated.
+    pub fn take_journal(&mut self) -> Vec<CatalogMutation> {
+        match &mut self.journal {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Journal hook shared by the mutation paths. Callers gate on
+    /// [`Self::journal_enabled`] before cloning anything into the record, so
+    /// a disabled journal never materializes a mutation.
+    fn journal_note(&mut self, mutation: CatalogMutation) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(mutation);
+        }
     }
 
     /// Builds a catalog from a borrowed strategy slice (cloning it once).

@@ -41,6 +41,13 @@ impl StrategyCatalog {
         self.axis_tail_insert(slot);
         self.delta_note_insert();
         self.epoch += 1;
+        if self.journal_enabled() {
+            self.journal_note(super::CatalogMutation::Insert {
+                slot,
+                strategy: self.strategies[slot].clone(),
+                epoch_after: self.epoch,
+            });
+        }
         self.maybe_merge();
         slot
     }
@@ -64,6 +71,12 @@ impl StrategyCatalog {
         }
         self.delta_note_retire(slot);
         self.epoch += 1;
+        if self.journal_enabled() {
+            self.journal_note(super::CatalogMutation::Retire {
+                slot,
+                epoch_after: self.epoch,
+            });
+        }
         self.maybe_merge();
         true
     }

@@ -53,9 +53,10 @@
 //!    never move backwards.
 
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
-use super::{CatalogDelta, DeltaSubscription, StrategyCatalog};
+use super::{CatalogDelta, CatalogMutation, DeltaSubscription, StrategyCatalog};
 use crate::error::StratRecError;
 
 /// An immutable capture of a catalog's read state at one epoch, shared as
@@ -112,6 +113,10 @@ struct Shared {
     /// byte-identical to the published snapshot's catalog (modulo the
     /// subscription table the snapshot strips).
     writer: Mutex<StrategyCatalog>,
+    /// Snapshots published since construction (the initial snapshot is not
+    /// counted — it was never *re*-published). Health counter surfaced by
+    /// [`ConcurrentCatalog::stats`].
+    published: AtomicU64,
 }
 
 impl Shared {
@@ -136,6 +141,22 @@ impl Shared {
     }
 }
 
+/// A point-in-time health sample of a [`ConcurrentCatalog`], read under the
+/// writer lock so every field belongs to the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// The writer catalog's current epoch (equals the published snapshot's
+    /// epoch outside an `update` critical section).
+    pub epoch: u64,
+    /// Live reader [`DeltaSubscription`]s on the writer catalog.
+    pub subscribers: usize,
+    /// Delta trackers evicted so far for lapsing past the catalog's
+    /// [`StrategyCatalog::delta_lapse_limit`].
+    pub delta_evictions: u64,
+    /// Snapshots published since construction (one per mutating `update`).
+    pub published_epochs: u64,
+}
+
 /// The publication cell of the single-writer / many-reader catalog: one
 /// writer folds churn into the next [`EpochSnapshot`] and publishes it
 /// atomically, any number of readers pin snapshots and serve lock-free.
@@ -155,6 +176,7 @@ impl ConcurrentCatalog {
             shared: Arc::new(Shared {
                 current: RwLock::new(snapshot),
                 writer: Mutex::new(catalog),
+                published: AtomicU64::new(0),
             }),
         }
     }
@@ -199,8 +221,69 @@ impl ConcurrentCatalog {
         }
         let snapshot = Arc::new(EpochSnapshot::capture(&writer));
         self.shared.store(Arc::clone(&snapshot));
+        self.shared.published.fetch_add(1, Ordering::Relaxed);
         drop(writer);
         (result, snapshot)
+    }
+
+    /// [`Self::update`] with a durability hook between mutation and
+    /// publication: `f` mutates the writer catalog as usual, then `log`
+    /// receives the post-mutation catalog and the drained
+    /// [`CatalogMutation`] journal **before** the new snapshot becomes
+    /// visible to any reader — the write-ahead ordering a durable tier
+    /// needs. If `log` fails, nothing is published: readers keep serving
+    /// the previous (durable) snapshot and the error is returned.
+    ///
+    /// The mutation journal must be enabled on the writer catalog
+    /// ([`StrategyCatalog::enable_journal`]); `update_logged` enables it on
+    /// entry so the first logged epoch is never silently empty. A
+    /// read-only `f` (epoch unchanged) skips `log` entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `log`'s error after discarding the unpublished mutation.
+    /// The writer catalog **has** applied `f` at that point — callers that
+    /// keep using the handle after a log failure must treat the writer
+    /// state as ahead of the published state (the durable tier fail-stops
+    /// instead).
+    pub fn update_logged<R, E>(
+        &self,
+        f: impl FnOnce(&mut StrategyCatalog) -> R,
+        log: impl FnOnce(&StrategyCatalog, &[CatalogMutation]) -> Result<(), E>,
+    ) -> Result<(R, Arc<EpochSnapshot>), E> {
+        let mut writer = self.shared.lock_writer();
+        writer.enable_journal();
+        let before = writer.epoch();
+        let result = f(&mut writer);
+        let mutations = writer.take_journal();
+        if writer.epoch() == before {
+            debug_assert!(
+                mutations.is_empty(),
+                "an unchanged epoch cannot have journaled mutations"
+            );
+            drop(writer);
+            return Ok((result, self.pin()));
+        }
+        log(&writer, &mutations)?;
+        let snapshot = Arc::new(EpochSnapshot::capture(&writer));
+        self.shared.store(Arc::clone(&snapshot));
+        self.shared.published.fetch_add(1, Ordering::Relaxed);
+        drop(writer);
+        Ok((result, snapshot))
+    }
+
+    /// A point-in-time health sample of the publication cell; see
+    /// [`CatalogStats`]. Takes the writer lock briefly — a monitoring call,
+    /// not a serving-path one.
+    #[must_use]
+    pub fn stats(&self) -> CatalogStats {
+        let writer = self.shared.lock_writer();
+        CatalogStats {
+            epoch: writer.epoch(),
+            subscribers: writer.delta_subscriber_count(),
+            delta_evictions: writer.delta_evictions(),
+            published_epochs: self.shared.published.load(Ordering::Relaxed),
+        }
     }
 
     /// Registers a migrating reader: subscribes it to the writer catalog's
@@ -440,6 +523,99 @@ mod tests {
         assert_eq!(concurrent.subscriber_count(), 1);
         concurrent.update(|catalog| catalog.insert(strategy(999, 0.7, 0.4, 0.4)));
         assert_eq!(reader.migrate().unwrap().inserted.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_epoch_publishes_subscribers_and_evictions() {
+        let concurrent = running_concurrent();
+        let initial = concurrent.stats();
+        assert_eq!(initial.epoch, 0);
+        assert_eq!(initial.subscribers, 0);
+        assert_eq!(initial.delta_evictions, 0);
+        assert_eq!(initial.published_epochs, 0);
+
+        let reader = concurrent.reader();
+        concurrent.update(|catalog| {
+            catalog.insert(strategy(10, 0.9, 0.2, 0.2));
+            catalog.retire(0);
+        });
+        concurrent.update(|catalog| catalog.len()); // read-only: no publish
+        let stats = concurrent.stats();
+        assert_eq!(stats.epoch, 2, "two mutations in one epoch");
+        assert_eq!(stats.subscribers, 1);
+        assert_eq!(stats.published_epochs, 1, "one mutating update published");
+        drop(reader);
+        assert_eq!(concurrent.stats().subscribers, 0);
+    }
+
+    #[test]
+    fn update_logged_hands_the_journal_to_the_log_before_publishing() {
+        let concurrent = running_concurrent();
+        let before = concurrent.pin();
+        let logged = std::cell::RefCell::new(Vec::new());
+        let (slot, snapshot) = concurrent
+            .update_logged(
+                |catalog| {
+                    let slot = catalog.insert(strategy(10, 0.9, 0.2, 0.2));
+                    assert!(catalog.retire(0));
+                    slot
+                },
+                |catalog, mutations| -> Result<(), StratRecError> {
+                    assert_eq!(catalog.epoch(), 2, "log sees the post-mutation state");
+                    logged.borrow_mut().extend_from_slice(mutations);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(snapshot.epoch(), 2);
+        let mutations = logged.into_inner();
+        assert_eq!(mutations.len(), 2);
+        assert!(matches!(
+            &mutations[0],
+            crate::catalog::CatalogMutation::Insert { slot: s, epoch_after: 1, .. } if *s == slot
+        ));
+        assert!(matches!(
+            &mutations[1],
+            crate::catalog::CatalogMutation::Retire {
+                slot: 0,
+                epoch_after: 2
+            }
+        ));
+        assert_eq!(before.epoch(), 0, "pre-update pin is untouched");
+    }
+
+    #[test]
+    fn update_logged_failures_publish_nothing() {
+        let concurrent = running_concurrent();
+        let before = concurrent.pin();
+        let result: Result<(usize, _), StratRecError> = concurrent.update_logged(
+            |catalog| catalog.insert(strategy(10, 0.9, 0.2, 0.2)),
+            |_, _| {
+                Err(StratRecError::WalCorrupt {
+                    offset: 0,
+                    kind: "disk full".into(),
+                })
+            },
+        );
+        assert!(result.is_err());
+        let after = concurrent.pin();
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "a failed log call must not publish"
+        );
+        assert_eq!(concurrent.stats().published_epochs, 0);
+    }
+
+    #[test]
+    fn update_logged_skips_the_log_for_read_only_epochs() {
+        let concurrent = running_concurrent();
+        let (len, _) = concurrent
+            .update_logged(
+                |catalog| catalog.len(),
+                |_, _| -> Result<(), StratRecError> { panic!("read-only epochs never log") },
+            )
+            .unwrap();
+        assert_eq!(len, 4);
     }
 
     /// The publish/acquire ordering stress: one writer publishes epochs

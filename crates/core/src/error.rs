@@ -59,6 +59,34 @@ pub enum StratRecError {
         /// The catalog's current epoch.
         found: u64,
     },
+    /// A write-ahead-log record failed validation during recovery: the frame
+    /// was torn (truncated mid-record), its checksum did not match the
+    /// payload, the payload did not decode, or the record was out of
+    /// sequence with the state being rebuilt (e.g. a duplicated tail
+    /// record). Recovery stops at the last valid prefix — everything before
+    /// `offset` is intact and has been applied — and surfaces this error so
+    /// the operator knows exactly where the log went bad.
+    WalCorrupt {
+        /// Byte offset (from the start of the log file) of the first
+        /// invalid record frame.
+        offset: u64,
+        /// What failed at that offset (`"torn record"`,
+        /// `"checksum mismatch"`, `"bad magic"`, `"epoch out of sequence"`,
+        /// ...).
+        kind: String,
+    },
+    /// Replaying the write-ahead log produced a catalog state that
+    /// contradicts what the log itself recorded (a replayed insert landed on
+    /// a different slot, a compaction produced a different remap, a reenacted
+    /// decision differs from the logged one). The log is internally
+    /// inconsistent or was produced by an incompatible build — recovery
+    /// refuses to continue past the contradiction.
+    RecoveryMismatch {
+        /// Catalog epoch at which the replay diverged from the log.
+        epoch: u64,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StratRecError {
@@ -93,6 +121,15 @@ impl std::fmt::Display for StratRecError {
                 f,
                 "catalog moved to epoch {found} but the problem was built at epoch {expected}; \
                  rebuild it (or remap through the compaction's SlotRemap)"
+            ),
+            Self::WalCorrupt { offset, kind } => write!(
+                f,
+                "write-ahead log corrupt at byte offset {offset}: {kind}; \
+                 recovery stops at the last valid prefix"
+            ),
+            Self::RecoveryMismatch { epoch, detail } => write!(
+                f,
+                "log replay diverged from the recorded state at epoch {epoch}: {detail}"
             ),
         }
     }
@@ -136,6 +173,27 @@ mod tests {
                 },
                 "epoch 5",
             ),
+            (
+                StratRecError::WalCorrupt {
+                    offset: 1337,
+                    kind: "checksum mismatch".into(),
+                },
+                "offset 1337",
+            ),
+            (
+                StratRecError::WalCorrupt {
+                    offset: 8,
+                    kind: "torn record".into(),
+                },
+                "torn record",
+            ),
+            (
+                StratRecError::RecoveryMismatch {
+                    epoch: 12,
+                    detail: "insert landed on slot 4, log says 3".into(),
+                },
+                "epoch 12",
+            ),
         ];
         for (err, needle) in cases {
             assert!(
@@ -143,6 +201,71 @@ mod tests {
                 "message for {err:?} should mention {needle}"
             );
         }
+    }
+
+    /// Compile-time-exhaustive variant census: adding a variant breaks this
+    /// match, which forces the display audit above to grow with it.
+    fn variant_tag(err: &StratRecError) -> &'static str {
+        match err {
+            StratRecError::ParameterOutOfRange { .. } => "ParameterOutOfRange",
+            StratRecError::InvalidDistribution(_) => "InvalidDistribution",
+            StratRecError::ZeroCardinality => "ZeroCardinality",
+            StratRecError::EmptyStrategySet => "EmptyStrategySet",
+            StratRecError::NotEnoughStrategies { .. } => "NotEnoughStrategies",
+            StratRecError::MissingModel { .. } => "MissingModel",
+            StratRecError::StaleSubscription { .. } => "StaleSubscription",
+            StratRecError::StaleCatalog { .. } => "StaleCatalog",
+            StratRecError::WalCorrupt { .. } => "WalCorrupt",
+            StratRecError::RecoveryMismatch { .. } => "RecoveryMismatch",
+        }
+    }
+
+    #[test]
+    fn the_display_audit_covers_every_variant() {
+        let audited: std::collections::BTreeSet<&str> = [
+            StratRecError::ParameterOutOfRange {
+                parameter: "quality".into(),
+                value: 1.5,
+            },
+            StratRecError::InvalidDistribution(String::new()),
+            StratRecError::ZeroCardinality,
+            StratRecError::EmptyStrategySet,
+            StratRecError::NotEnoughStrategies {
+                available: 2,
+                requested: 5,
+            },
+            StratRecError::MissingModel { strategy: 7 },
+            StratRecError::StaleSubscription { id: 4 },
+            StratRecError::StaleCatalog {
+                expected: 3,
+                found: 5,
+            },
+            StratRecError::WalCorrupt {
+                offset: 0,
+                kind: String::new(),
+            },
+            StratRecError::RecoveryMismatch {
+                epoch: 0,
+                detail: String::new(),
+            },
+        ]
+        .iter()
+        .map(variant_tag)
+        .collect();
+        assert_eq!(audited.len(), 10, "one sample per variant, no duplicates");
+    }
+
+    #[test]
+    fn errors_are_std_error_trait_objects() {
+        // Leaf errors: no deeper cause, and the Display text survives the
+        // `dyn Error` indirection (the durable tier chains onto this via
+        // `DurableError::source`).
+        let err: Box<dyn std::error::Error> = Box::new(StratRecError::WalCorrupt {
+            offset: 9,
+            kind: "torn record".into(),
+        });
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("offset 9"));
     }
 
     #[test]

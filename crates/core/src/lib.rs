@@ -77,8 +77,8 @@ pub mod prelude {
         BatchAlgorithm, BatchObjective, BatchOutcome, BatchStrat, Recommendation,
     };
     pub use crate::catalog::{
-        CatalogDelta, ConcurrentCatalog, DeltaSubscription, EpochSnapshot, RebuildPolicy,
-        SlotRemap, SnapshotReader, StrategyCatalog,
+        CatalogDelta, CatalogMutation, CatalogStats, ConcurrentCatalog, DeltaSubscription,
+        EpochSnapshot, RebuildPolicy, SlotRemap, SnapshotReader, StrategyCatalog,
     };
     pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;

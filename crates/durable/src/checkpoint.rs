@@ -1,0 +1,312 @@
+//! Periodic compacted checkpoints: bounding recovery cost by churn.
+//!
+//! Replaying the whole WAL makes recovery cost grow with *total history*. A
+//! checkpoint pins the full catalog state (slot-ordered strategies and
+//! liveness, the epoch, and the WAL offset replay should resume from) in
+//! its own file, so recovery costs one checkpoint load plus the churn since
+//! it — [`CheckpointPolicy`] picks the cadence. Checkpoint files are
+//! written to a temporary name and atomically renamed into place, so a
+//! crash mid-checkpoint leaves either the old set or the old set plus a
+//! complete new file, never a half-written one that recovery could trust.
+//! Corrupt or torn checkpoints are detected by the same CRC framing as the
+//! log and recovery simply falls back to the next-older one (the genesis
+//! checkpoint written at [`crate::DurableCatalog::create`] time is the
+//! floor, making "replay the whole log" the worst case, not a special
+//! case).
+
+use std::path::{Path, PathBuf};
+
+use stratrec_core::error::StratRecError;
+use stratrec_core::model::Strategy;
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::crc::crc32;
+use crate::record::strategy_codec;
+use crate::{DurableError, Result};
+
+/// Checkpoint file magic: format + version in 8 bytes.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SRCKPT1\n";
+
+/// When the durable tier writes checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint beyond the genesis one — recovery always replays
+    /// the full log. The fault-injection tests use this: it makes recovered
+    /// state a pure function of the log prefix.
+    Never,
+    /// Checkpoint after every `n` logged mutations (`n ≥ 1`).
+    EveryMutations(u64),
+}
+
+impl CheckpointPolicy {
+    /// Whether `mutations_since_last` crossed this policy's cadence.
+    #[must_use]
+    pub fn due(self, mutations_since_last: u64) -> bool {
+        match self {
+            Self::Never => false,
+            Self::EveryMutations(n) => mutations_since_last >= n.max(1),
+        }
+    }
+}
+
+/// A full catalog state pinned at one epoch, plus the WAL offset replay
+/// resumes from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Catalog epoch the state belongs to.
+    pub epoch: u64,
+    /// Byte offset into the WAL of the first record *not* reflected in this
+    /// checkpoint.
+    pub wal_offset: u64,
+    /// Slot-ordered `(strategy, live)` pairs — everything
+    /// [`StrategyCatalog::from_checkpoint_parts`](stratrec_core::catalog::StrategyCatalog::from_checkpoint_parts)
+    /// needs to rebuild the content-determined read state.
+    pub slots: Vec<(Strategy, bool)>,
+}
+
+impl Checkpoint {
+    /// Captures `catalog` at its current epoch, with replay resuming at
+    /// `wal_offset`.
+    #[must_use]
+    pub fn capture(catalog: &stratrec_core::catalog::StrategyCatalog, wal_offset: u64) -> Self {
+        let slots = catalog
+            .strategies()
+            .iter()
+            .enumerate()
+            .map(|(slot, strategy)| (strategy.clone(), catalog.is_live(slot)))
+            .collect();
+        Self {
+            epoch: catalog.epoch(),
+            wal_offset,
+            slots,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut writer = ByteWriter::new();
+        writer.u64(self.epoch);
+        writer.u64(self.wal_offset);
+        writer.usize(self.slots.len());
+        for (strategy, live) in &self.slots {
+            strategy_codec::encode(&mut writer, strategy);
+            writer.bool(*live);
+        }
+        writer.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, StratRecError> {
+        let mut reader = ByteReader::new(payload);
+        let decode = |reader: &mut ByteReader<'_>| -> Result<Self, crate::codec::DecodeError> {
+            let epoch = reader.u64()?;
+            let wal_offset = reader.u64()?;
+            let len = reader.usize()?;
+            let mut slots = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let strategy = strategy_codec::decode(reader)?;
+                let live = reader.bool()?;
+                slots.push((strategy, live));
+            }
+            reader.finish()?;
+            Ok(Self {
+                epoch,
+                wal_offset,
+                slots,
+            })
+        };
+        decode(&mut reader).map_err(|error| StratRecError::WalCorrupt {
+            offset: CHECKPOINT_FRAME_HEADER + error.at as u64,
+            kind: format!("checkpoint {error}"),
+        })
+    }
+}
+
+/// Magic + payload length + CRC precede the payload.
+const CHECKPOINT_FRAME_HEADER: u64 = 8 + 4 + 4;
+
+/// The file name of the checkpoint at `epoch` (zero-padded so the
+/// lexicographic order is the numeric order).
+#[must_use]
+pub fn checkpoint_file_name(epoch: u64) -> String {
+    format!("checkpoint-{epoch:020}.ckpt")
+}
+
+/// Writes `checkpoint` into `dir` atomically (tmp + rename) and syncs it.
+pub fn write_checkpoint(dir: &Path, checkpoint: &Checkpoint) -> Result<PathBuf> {
+    let payload = checkpoint.encode();
+    let mut bytes = CHECKPOINT_MAGIC.to_vec();
+    let len = u32::try_from(payload.len()).expect("checkpoints are far below u32::MAX");
+    bytes.extend_from_slice(&len.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let final_path = dir.join(checkpoint_file_name(checkpoint.epoch));
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let io = |context: &str, e| DurableError::io(format!("{context} {}", tmp_path.display()), e);
+    {
+        let mut file = std::fs::File::create(&tmp_path).map_err(|e| io("create", e))?;
+        use std::io::Write as _;
+        file.write_all(&bytes).map_err(|e| io("write", e))?;
+        file.sync_data().map_err(|e| io("sync", e))?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| DurableError::io(format!("rename into {}", final_path.display()), e))?;
+    Ok(final_path)
+}
+
+/// Reads one checkpoint file, validating magic, framing and checksum.
+///
+/// # Errors
+///
+/// [`DurableError::Io`] when the file cannot be read;
+/// [`DurableError::Corrupt`] ([`StratRecError::WalCorrupt`] with offsets
+/// relative to the checkpoint file) when validation fails.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint> {
+    let bytes =
+        std::fs::read(path).map_err(|e| DurableError::io(format!("read {}", path.display()), e))?;
+    let corrupt = |offset: u64, kind: &str| {
+        DurableError::Corrupt(StratRecError::WalCorrupt {
+            offset,
+            kind: format!("checkpoint {kind}"),
+        })
+    };
+    if bytes.len() < CHECKPOINT_FRAME_HEADER as usize {
+        return Err(corrupt(0, "torn header"));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(corrupt(0, "bad magic"));
+    }
+    let payload_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let expected_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let payload_start = CHECKPOINT_FRAME_HEADER as usize;
+    if bytes.len() - payload_start != payload_len {
+        return Err(corrupt(8, "payload length disagrees with file size"));
+    }
+    let payload = &bytes[payload_start..];
+    if crc32(payload) != expected_crc {
+        return Err(corrupt(12, "checksum mismatch"));
+    }
+    Checkpoint::decode(payload).map_err(DurableError::Corrupt)
+}
+
+/// Lists the checkpoint files in `dir`, newest epoch first. Stray
+/// `.ckpt.tmp` leftovers from a crash mid-checkpoint are ignored.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<PathBuf>> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| DurableError::io(format!("list {}", dir.display()), e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "ckpt")
+                && path
+                    .file_name()
+                    .and_then(|name| name.to_str())
+                    .is_some_and(|name| name.starts_with("checkpoint-"))
+        })
+        .collect();
+    // Zero-padded epochs: lexicographic descending == numeric descending.
+    paths.sort();
+    paths.reverse();
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
+
+    fn churned_catalog() -> StrategyCatalog {
+        let mut catalog = StrategyCatalog::with_policy(
+            stratrec_core::examples_data::running_example_strategies(),
+            RebuildPolicy::threshold(2),
+        );
+        catalog.insert(Strategy::from_params(
+            9,
+            stratrec_core::model::DeploymentParameters::clamped(0.7, 0.4, 0.3),
+        ));
+        catalog.retire(1);
+        catalog
+    }
+
+    #[test]
+    fn checkpoints_round_trip_and_rebuild_the_same_observable_state() {
+        let dir = TempDir::new("ckpt-roundtrip");
+        let catalog = churned_catalog();
+        let checkpoint = Checkpoint::capture(&catalog, 123);
+        let path = write_checkpoint(dir.path(), &checkpoint).unwrap();
+        let loaded = read_checkpoint(&path).unwrap();
+        assert_eq!(loaded, checkpoint);
+
+        let rebuilt = StrategyCatalog::from_checkpoint_parts(
+            loaded.slots,
+            loaded.epoch,
+            RebuildPolicy::threshold(2),
+        );
+        assert_eq!(rebuilt.epoch(), catalog.epoch());
+        assert_eq!(rebuilt.strategies(), catalog.strategies());
+        let loosest = stratrec_core::model::DeploymentParameters::default();
+        assert_eq!(
+            rebuilt.eligible_for(&loosest),
+            catalog.eligible_for(&loosest)
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoints_fail_typed_not_panicking() {
+        let dir = TempDir::new("ckpt-corrupt");
+        let checkpoint = Checkpoint::capture(&churned_catalog(), 8);
+        let path = write_checkpoint(dir.path(), &checkpoint).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Bit-flip in the payload.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(DurableError::Corrupt(StratRecError::WalCorrupt { ref kind, .. }))
+                if kind.contains("checksum")
+        ));
+
+        // Truncation.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(DurableError::Corrupt(StratRecError::WalCorrupt { .. }))
+        ));
+    }
+
+    #[test]
+    fn listing_orders_newest_first_and_skips_tmp_leftovers() {
+        let dir = TempDir::new("ckpt-list");
+        for epoch in [3_u64, 11, 7] {
+            let mut checkpoint = Checkpoint::capture(&churned_catalog(), 8);
+            checkpoint.epoch = epoch;
+            write_checkpoint(dir.path(), &checkpoint).unwrap();
+        }
+        std::fs::write(dir.path().join("checkpoint-999.ckpt.tmp"), b"junk").unwrap();
+        std::fs::write(dir.path().join("wal.log"), b"junk").unwrap();
+        let listed = list_checkpoints(dir.path()).unwrap();
+        let names: Vec<String> = listed
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                checkpoint_file_name(11),
+                checkpoint_file_name(7),
+                checkpoint_file_name(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn cadence_policy_fires_on_the_threshold() {
+        assert!(!CheckpointPolicy::Never.due(1_000_000));
+        assert!(!CheckpointPolicy::EveryMutations(16).due(15));
+        assert!(CheckpointPolicy::EveryMutations(16).due(16));
+        assert!(CheckpointPolicy::EveryMutations(0).due(1), "0 behaves as 1");
+    }
+}

@@ -1,0 +1,224 @@
+//! A minimal little-endian binary codec for the on-disk record payloads.
+//!
+//! The vendored serde stub has no data format behind it (the derives are
+//! decorative), so the durable tier encodes by hand: fixed-width
+//! little-endian integers, `f64` as its IEEE-754 bit pattern (`NaN` and
+//! `-0.0` round-trip exactly — a requirement for byte-identical provenance
+//! reenactment), `usize` widened to `u64` (the format is
+//! architecture-independent), and length-prefixed UTF-8 strings. Decoding
+//! is bounds- and validity-checked at every step; a failure reports the
+//! cursor position so the WAL layer can surface an absolute byte offset.
+
+/// A decode failure: what went wrong and where (byte offset *within the
+/// payload being decoded* — the caller adds the payload's position in the
+/// file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Cursor position in the payload at the point of failure.
+    pub at: usize,
+    /// What failed (`"payload truncated"`, `"invalid enum tag"`, ...).
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at payload byte {}", self.what, self.at)
+    }
+}
+
+/// Appends little-endian primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buffer: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buffer
+    }
+
+    pub fn u8(&mut self, value: u8) {
+        self.buffer.push(value);
+    }
+
+    pub fn bool(&mut self, value: bool) {
+        self.u8(u8::from(value));
+    }
+
+    pub fn u32(&mut self, value: u32) {
+        self.buffer.extend_from_slice(&value.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, value: u64) {
+        self.buffer.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// `usize` is stored widened to `u64` so the format does not depend on
+    /// the writing architecture.
+    pub fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    /// `f64` is stored as its exact bit pattern: the value read back is
+    /// bit-identical, including `NaN` payloads and the sign of zero.
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn str(&mut self, value: &str) {
+        self.usize(value.len());
+        self.buffer.extend_from_slice(value.as_bytes());
+    }
+}
+
+/// Reads little-endian primitives off a byte slice, tracking the cursor.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, cursor at the start.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, cursor: 0 }
+    }
+
+    /// Current cursor position (bytes consumed so far).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether every byte has been consumed — decoders call this last so a
+    /// payload with trailing garbage is rejected rather than ignored.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.cursor == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing bytes after payload"))
+        }
+    }
+
+    fn error(&self, what: &'static str) -> DecodeError {
+        DecodeError {
+            at: self.cursor,
+            what,
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .cursor
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| self.error("payload truncated"))?;
+        let slice = &self.bytes[self.cursor..end];
+        self.cursor = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => {
+                self.cursor -= 1;
+                Err(self.error("invalid boolean byte"))
+            }
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let wide = self.u64()?;
+        usize::try_from(wide).map_err(|_| self.error("usize overflows this platform"))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.error("invalid UTF-8 string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut writer = ByteWriter::new();
+        writer.u8(7);
+        writer.bool(true);
+        writer.u32(0xDEAD_BEEF);
+        writer.u64(u64::MAX);
+        writer.usize(12_345);
+        writer.f64(-0.0);
+        writer.f64(f64::NAN);
+        writer.f64(0.1 + 0.2);
+        writer.str("epoch snapshot — κ");
+        let bytes = writer.into_bytes();
+
+        let mut reader = ByteReader::new(&bytes);
+        assert_eq!(reader.u8().unwrap(), 7);
+        assert!(reader.bool().unwrap());
+        assert_eq!(reader.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(reader.u64().unwrap(), u64::MAX);
+        assert_eq!(reader.usize().unwrap(), 12_345);
+        assert_eq!(reader.f64().unwrap().to_bits(), (-0.0_f64).to_bits());
+        assert!(reader.f64().unwrap().is_nan());
+        assert_eq!(reader.f64().unwrap().to_bits(), (0.1_f64 + 0.2).to_bits());
+        assert_eq!(reader.str().unwrap(), "epoch snapshot — κ");
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_failures_with_positions() {
+        let mut writer = ByteWriter::new();
+        writer.u64(1);
+        let bytes = writer.into_bytes();
+
+        let mut short = ByteReader::new(&bytes[..5]);
+        let error = short.u64().unwrap_err();
+        assert_eq!(error.what, "payload truncated");
+        assert_eq!(error.at, 0);
+
+        let mut trailing = ByteReader::new(&bytes);
+        trailing.u32().unwrap();
+        assert_eq!(
+            trailing.finish().unwrap_err().what,
+            "trailing bytes after payload"
+        );
+
+        let mut bad_bool = ByteReader::new(&[9]);
+        assert_eq!(bad_bool.bool().unwrap_err().what, "invalid boolean byte");
+    }
+}

@@ -1,0 +1,71 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial, the `zlib`/`gzip` variant).
+//!
+//! The offline build cannot pull a checksum crate, so the log frames carry
+//! this hand-rolled implementation: reflected polynomial `0xEDB88320`,
+//! initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF` — byte-compatible
+//! with the ubiquitous `crc32fast::hash` / `zlib.crc32` so the on-disk
+//! format stays verifiable with stock tools.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, built at
+/// compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0_u32; 256];
+    let mut index = 0;
+    while index < 256 {
+        let mut crc = index as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[index] = crc;
+        index += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (IEEE, reflected, init/final-xor `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_check_values() {
+        // The standard CRC-32/ISO-HDLC check vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn a_single_flipped_bit_changes_the_checksum() {
+        let payload = b"write-ahead log record payload".to_vec();
+        let reference = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut corrupted = payload.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

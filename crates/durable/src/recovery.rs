@@ -1,0 +1,429 @@
+//! Crash recovery: checkpoint load + log-suffix replay through the public
+//! mutation API.
+//!
+//! Recovery never deserializes catalog *internals*: it rebuilds the
+//! checkpointed state with
+//! [`StrategyCatalog::from_checkpoint_parts`] and then replays the WAL
+//! suffix by calling the very same [`StrategyCatalog::insert`] /
+//! [`StrategyCatalog::retire`] / [`StrategyCatalog::compact`] the live
+//! system uses — so a recovered catalog cannot reach a state the mutation
+//! API could not. Every replayed record is cross-checked against what the
+//! log said happened (the slot an insert landed on, the remap a compaction
+//! produced, the epoch after each mutation):
+//!
+//! * an **out-of-sequence** record (duplicated tail frame, dropped frame)
+//!   ends the valid prefix exactly like a torn frame does — typed
+//!   [`StratRecError::WalCorrupt`] with the frame's byte offset, state kept
+//!   at the last valid prefix;
+//! * a record that is in sequence but **contradicts** the replay (an insert
+//!   landing on a different slot, a different remap) means the log is
+//!   internally inconsistent — recovery refuses to continue with a hard
+//!   [`StratRecError::RecoveryMismatch`], because no prefix of such a log
+//!   can be trusted to reproduce the recorded decisions.
+
+use std::path::Path;
+
+use stratrec_core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec_core::error::StratRecError;
+
+use crate::checkpoint::{list_checkpoints, read_checkpoint, Checkpoint};
+use crate::record::{DecisionRecord, WalRecord};
+use crate::wal::{self, WAL_FILE_NAME};
+use crate::{DurableError, Result};
+
+/// What recovery found and rebuilt.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The recovered catalog, at the last durable epoch.
+    pub catalog: StrategyCatalog,
+    /// Every logged deployment decision in the valid prefix, with the byte
+    /// offset of its WAL frame — the provenance rows.
+    pub decisions: Vec<(u64, DecisionRecord)>,
+    /// How the recovery went.
+    pub report: RecoveryReport,
+}
+
+/// Diagnostics of one recovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Epoch of the recovered catalog.
+    pub epoch: u64,
+    /// Epoch of the checkpoint recovery started from.
+    pub checkpoint_epoch: u64,
+    /// Mutation records replayed on top of the checkpoint.
+    pub records_applied: usize,
+    /// Length in bytes of the valid log prefix; re-opening the log for
+    /// appending truncates to this.
+    pub valid_len: u64,
+    /// The corruption that ended the valid prefix (torn frame, checksum
+    /// mismatch, out-of-sequence record), or `None` for a clean log.
+    pub corruption: Option<StratRecError>,
+}
+
+/// Recovers the durable catalog directory `dir`: newest readable
+/// checkpoint, then the valid WAL suffix.
+///
+/// # Errors
+///
+/// [`DurableError::Io`] when the directory or log cannot be read at all;
+/// [`DurableError::Corrupt`] with [`StratRecError::RecoveryMismatch`] when
+/// the log contradicts its own replay. Mere log-tail corruption is **not**
+/// an error — it is reported in [`RecoveryReport::corruption`] with the
+/// state recovered to the last valid prefix.
+pub fn recover_catalog(dir: &Path, policy: RebuildPolicy) -> Result<RecoveredState> {
+    let scan = wal::scan(&dir.join(WAL_FILE_NAME))?;
+    let checkpoint = newest_usable_checkpoint(dir)?;
+    let mut catalog =
+        StrategyCatalog::from_checkpoint_parts(checkpoint.slots, checkpoint.epoch, policy);
+
+    let suffix: Vec<&(u64, WalRecord)> = scan
+        .records
+        .iter()
+        .filter(|(offset, _)| *offset >= checkpoint.wal_offset)
+        .collect();
+    let outcome = replay(&mut catalog, &suffix, None)?;
+
+    let (valid_len, corruption) = match outcome.out_of_sequence {
+        // Replay stopped early: the valid prefix ends at the offending
+        // frame, before wherever the byte-level scan stopped.
+        Some((offset, error)) => (offset, Some(error)),
+        None => (scan.valid_len, scan.corruption),
+    };
+    // Provenance covers the whole valid prefix, not just the replayed
+    // suffix: decisions before the newest checkpoint are history too — the
+    // log is never truncated precisely so they stay reachable.
+    let decisions = scan
+        .records
+        .into_iter()
+        .filter(|(offset, _)| *offset < valid_len)
+        .filter_map(|(offset, record)| match record {
+            WalRecord::Decision(decision) => Some((offset, decision)),
+            _ => None,
+        })
+        .collect();
+    Ok(RecoveredState {
+        report: RecoveryReport {
+            epoch: catalog.epoch(),
+            checkpoint_epoch: checkpoint.epoch,
+            records_applied: outcome.applied,
+            valid_len,
+            corruption,
+        },
+        catalog,
+        decisions,
+    })
+}
+
+/// Picks the newest checkpoint in `dir` that reads back valid, skipping
+/// corrupt ones (crash-mid-rename leftovers are already filtered by the
+/// listing).
+fn newest_usable_checkpoint(dir: &Path) -> Result<Checkpoint> {
+    for path in list_checkpoints(dir)? {
+        match read_checkpoint(&path) {
+            Ok(checkpoint) => return Ok(checkpoint),
+            Err(DurableError::Corrupt(_)) => continue,
+            Err(error) => return Err(error),
+        }
+    }
+    Err(DurableError::Corrupt(StratRecError::WalCorrupt {
+        offset: 0,
+        kind: "no readable checkpoint in the durable directory".into(),
+    }))
+}
+
+/// Outcome of a replay pass.
+#[derive(Debug)]
+pub(crate) struct ReplayOutcome {
+    /// Mutation records applied.
+    pub applied: usize,
+    /// The out-of-sequence record that ended the replay early, if any.
+    pub out_of_sequence: Option<(u64, StratRecError)>,
+}
+
+/// Replays `records` (offset-tagged, already filtered to the suffix after
+/// the checkpoint) onto `catalog`. Stops cleanly when `stop_at_epoch` is
+/// reached; stops with an out-of-sequence note when a record does not
+/// follow from the current state; hard-errors with
+/// [`StratRecError::RecoveryMismatch`] when an in-sequence record
+/// contradicts its own replay.
+pub(crate) fn replay(
+    catalog: &mut StrategyCatalog,
+    records: &[&(u64, WalRecord)],
+    stop_at_epoch: Option<u64>,
+) -> Result<ReplayOutcome> {
+    let mut applied = 0;
+    let mut out_of_sequence = None;
+    'records: for &&(offset, ref record) in records {
+        if stop_at_epoch.is_some_and(|target| catalog.epoch() >= target) {
+            break;
+        }
+        // An out-of-sequence record ends the valid prefix: keep everything
+        // replayed so far, note the offending frame, stop.
+        macro_rules! sequence_cut {
+            ($($kind:tt)*) => {{
+                out_of_sequence = Some((
+                    offset,
+                    StratRecError::WalCorrupt {
+                        offset,
+                        kind: format!($($kind)*),
+                    },
+                ));
+                break 'records;
+            }};
+        }
+        match record {
+            WalRecord::Insert {
+                slot,
+                strategy,
+                epoch_after,
+            } => {
+                if *epoch_after != catalog.epoch() + 1 {
+                    sequence_cut!(
+                        "epoch out of sequence (insert says epoch {epoch_after} follows {})",
+                        catalog.epoch()
+                    );
+                }
+                let landed = catalog.insert(strategy.clone());
+                if landed != *slot {
+                    return Err(mismatch(
+                        *epoch_after,
+                        format!("replayed insert landed on slot {landed}, the log says {slot}"),
+                    ));
+                }
+                applied += 1;
+            }
+            WalRecord::Retire { slot, epoch_after } => {
+                if *epoch_after != catalog.epoch() + 1 {
+                    sequence_cut!(
+                        "epoch out of sequence (retire says epoch {epoch_after} follows {})",
+                        catalog.epoch()
+                    );
+                }
+                if !catalog.retire(*slot) {
+                    return Err(mismatch(
+                        *epoch_after,
+                        format!("replayed retire of slot {slot} found it not live"),
+                    ));
+                }
+                applied += 1;
+            }
+            WalRecord::Compact {
+                source_epoch,
+                target_epoch,
+                live_len,
+                forward,
+            } => {
+                if *source_epoch != catalog.epoch() {
+                    sequence_cut!(
+                        "epoch out of sequence (compaction of epoch {source_epoch} at epoch {})",
+                        catalog.epoch()
+                    );
+                }
+                let remap = catalog.compact();
+                if remap.source_epoch() != *source_epoch
+                    || remap.target_epoch() != *target_epoch
+                    || remap.live_len != *live_len
+                    || remap.forward != *forward
+                {
+                    return Err(mismatch(
+                        *target_epoch,
+                        "replayed compaction produced a different slot remap".into(),
+                    ));
+                }
+                applied += 1;
+            }
+            WalRecord::Decision(decision) => {
+                if decision.epoch > catalog.epoch() {
+                    sequence_cut!(
+                        "decision references future epoch {} at epoch {}",
+                        decision.epoch,
+                        catalog.epoch()
+                    );
+                }
+                // Valid: collected by the caller from the full valid
+                // prefix, not here.
+            }
+        }
+    }
+    if let Some(cut) = out_of_sequence {
+        return Ok(ReplayOutcome {
+            applied,
+            out_of_sequence: Some(cut),
+        });
+    }
+    if let Some(target) = stop_at_epoch {
+        if catalog.epoch() != target {
+            return Err(mismatch(
+                target,
+                format!(
+                    "epoch {target} is not reachable from the log (stopped at {})",
+                    catalog.epoch()
+                ),
+            ));
+        }
+    }
+    Ok(ReplayOutcome {
+        applied,
+        out_of_sequence: None,
+    })
+}
+
+fn mismatch(epoch: u64, detail: String) -> DurableError {
+    DurableError::Corrupt(StratRecError::RecoveryMismatch { epoch, detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{write_checkpoint, CheckpointPolicy};
+    use crate::store::{DurableCatalog, DurableOptions};
+    use crate::testutil::TempDir;
+    use stratrec_core::model::{DeploymentParameters, Strategy};
+
+    fn options() -> DurableOptions {
+        DurableOptions {
+            sync: false,
+            checkpoint: CheckpointPolicy::Never,
+        }
+    }
+
+    fn seeded(dir: &Path) -> DurableCatalog {
+        let catalog = StrategyCatalog::with_policy(
+            stratrec_core::examples_data::running_example_strategies(),
+            RebuildPolicy::threshold(3),
+        );
+        DurableCatalog::create(dir, catalog, options()).unwrap()
+    }
+
+    fn strategy(id: u64) -> Strategy {
+        Strategy::from_params(id, DeploymentParameters::clamped(0.8, 0.3, 0.3))
+    }
+
+    #[test]
+    fn a_clean_log_recovers_the_exact_observable_state() {
+        let dir = TempDir::new("recover-clean");
+        let durable = seeded(dir.path());
+        durable
+            .update(|catalog| {
+                catalog.insert(strategy(10));
+                catalog.retire(0);
+            })
+            .unwrap();
+        durable.update(|catalog| catalog.compact()).unwrap();
+        let live = durable.pin();
+
+        let recovered = recover_catalog(dir.path(), RebuildPolicy::threshold(3)).unwrap();
+        assert!(recovered.report.corruption.is_none());
+        assert_eq!(recovered.report.epoch, live.epoch());
+        assert_eq!(recovered.report.records_applied, 3);
+        assert_eq!(recovered.catalog.strategies(), live.strategies());
+        let loosest = DeploymentParameters::default();
+        assert_eq!(
+            recovered.catalog.eligible_for(&loosest),
+            live.eligible_for(&loosest)
+        );
+    }
+
+    #[test]
+    fn a_duplicated_tail_record_is_typed_corruption_at_its_offset() {
+        let dir = TempDir::new("recover-dup");
+        let durable = seeded(dir.path());
+        durable
+            .update(|catalog| {
+                catalog.insert(strategy(10));
+            })
+            .unwrap();
+        durable.update(|catalog| catalog.retire(1)).unwrap();
+        let epoch_before = durable.epoch();
+        drop(durable);
+
+        // Duplicate the last frame (an operator `cat`ing logs together, or a
+        // replayed network append).
+        let path = dir.path().join(WAL_FILE_NAME);
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = wal::scan_bytes(&bytes);
+        let last_offset = scan.records.last().unwrap().0 as usize;
+        let mut duplicated = bytes.clone();
+        duplicated.extend_from_slice(&bytes[last_offset..]);
+        std::fs::write(&path, &duplicated).unwrap();
+
+        let recovered = recover_catalog(dir.path(), RebuildPolicy::threshold(3)).unwrap();
+        match recovered.report.corruption {
+            Some(StratRecError::WalCorrupt { offset, ref kind }) => {
+                assert_eq!(offset as usize, bytes.len(), "the duplicate frame's offset");
+                assert!(kind.contains("out of sequence"), "kind was {kind:?}");
+            }
+            ref other => panic!("expected WalCorrupt, got {other:?}"),
+        }
+        assert_eq!(recovered.report.valid_len, bytes.len() as u64);
+        assert_eq!(
+            recovered.report.epoch, epoch_before,
+            "recovered to the state before the duplicate"
+        );
+    }
+
+    #[test]
+    fn recovery_resumes_from_the_newest_checkpoint_and_falls_back_past_corrupt_ones() {
+        let dir = TempDir::new("recover-ckpt");
+        let durable = seeded(dir.path());
+        for round in 0..4_u64 {
+            durable
+                .update(|catalog| {
+                    catalog.insert(strategy(100 + round));
+                })
+                .unwrap();
+        }
+        // Hand-write a checkpoint at the current state: replay should apply
+        // zero records on top of it.
+        let snapshot = durable.pin();
+        let wal_len = durable.wal_len().unwrap();
+        let newest = write_checkpoint(
+            dir.path(),
+            &crate::checkpoint::Checkpoint::capture(snapshot.catalog(), wal_len),
+        )
+        .unwrap();
+        let recovered = recover_catalog(dir.path(), RebuildPolicy::threshold(3)).unwrap();
+        assert_eq!(recovered.report.checkpoint_epoch, snapshot.epoch());
+        assert_eq!(recovered.report.records_applied, 0);
+        assert_eq!(recovered.report.epoch, snapshot.epoch());
+
+        // Corrupt that checkpoint: recovery falls back to the genesis one
+        // and replays the full log to the same state.
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let fallback = recover_catalog(dir.path(), RebuildPolicy::threshold(3)).unwrap();
+        assert_eq!(fallback.report.checkpoint_epoch, 0);
+        assert_eq!(fallback.report.records_applied, 4);
+        assert_eq!(fallback.report.epoch, snapshot.epoch());
+        assert_eq!(fallback.catalog.strategies(), snapshot.strategies());
+    }
+
+    #[test]
+    fn decisions_in_the_log_come_back_with_their_offsets() {
+        let dir = TempDir::new("recover-decisions");
+        let durable = seeded(dir.path());
+        durable
+            .update(|catalog| {
+                catalog.insert(strategy(10));
+            })
+            .unwrap();
+        let decision = DecisionRecord {
+            epoch: durable.epoch(),
+            config: stratrec_core::stratrec::StratRecConfig::default(),
+            availability: 0.8,
+            requests: stratrec_core::examples_data::running_example_requests(),
+            report: stratrec_core::stratrec::StratRecReport {
+                availability: stratrec_core::availability::WorkerAvailability::new(0.8).unwrap(),
+                batch: stratrec_core::batch::BatchOutcome::default(),
+                alternatives: Vec::new(),
+            },
+        };
+        let offset = durable.log_decision(&decision).unwrap();
+        let recovered = recover_catalog(dir.path(), RebuildPolicy::threshold(3)).unwrap();
+        assert_eq!(recovered.decisions.len(), 1);
+        assert_eq!(recovered.decisions[0].0, offset);
+        assert_eq!(recovered.decisions[0].1, decision);
+    }
+}

@@ -1,0 +1,71 @@
+//! Test scaffolding: a self-cleaning temporary directory.
+//!
+//! The offline build has no `tempfile` crate, so the fault-injection and
+//! recovery tests use this hand-rolled RAII guard: a unique directory under
+//! the system temp dir (honoring `TMPDIR` via [`std::env::temp_dir`], which
+//! the CI fault-injection job points at a job-local scratch dir), removed
+//! recursively on drop. Uniqueness comes from the process id plus a global
+//! counter — parallel test threads and parallel CI jobs cannot collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"$TMPDIR/stratrec-<label>-<pid>-<n>"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created — tests cannot proceed
+    /// without scratch space, and a typed error would just be unwrapped.
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "stratrec-{label}-{pid}-{id}",
+            pid = std::process::id()
+        ));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|error| panic!("creating temp dir {}: {error}", path.display()));
+        Self { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed cleanup must not turn a passing test into a
+        // panic-while-panicking abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_removed_on_drop() {
+        let first = TempDir::new("unit");
+        let second = TempDir::new("unit");
+        assert_ne!(first.path(), second.path());
+        assert!(first.path().is_dir());
+        let kept = first.path().to_path_buf();
+        std::fs::write(kept.join("file"), b"x").unwrap();
+        drop(first);
+        assert!(!kept.exists(), "drop removes the tree");
+        assert!(second.path().is_dir(), "other guards are untouched");
+    }
+}

@@ -27,5 +27,5 @@ pub mod sweep;
 
 pub use aabb::Aabb3;
 pub use point::{Axis, Point3};
-pub use rtree::RTree;
+pub use rtree::{RTree, DEFAULT_NODE_CAPACITY};
 pub use sweep::{SweepEvent, SweepList};

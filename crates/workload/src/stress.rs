@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use stratrec_core::availability::AvailabilityPdf;
-use stratrec_core::catalog::{ConcurrentCatalog, EpochSnapshot, RebuildPolicy};
+use stratrec_core::catalog::{CatalogStats, ConcurrentCatalog, EpochSnapshot, RebuildPolicy};
 use stratrec_core::error::StratRecError;
 use stratrec_core::stratrec::{SnapshotSession, StratRec, StratRecReport};
 
@@ -59,6 +59,9 @@ pub struct StressHistory {
     pub reads: Vec<Vec<ReadRecord>>,
     /// The epoch of the last published snapshot.
     pub final_epoch: u64,
+    /// The catalog's lifecycle counters after the run — all readers
+    /// dropped, all epochs published.
+    pub stats: CatalogStats,
 }
 
 impl StressHistory {
@@ -153,8 +156,19 @@ pub fn run_churn_stress(
             }));
         }
         // The writer runs on this thread, starting only after every reader
-        // finished its opening serve of the initial snapshot.
+        // finished its opening serve of the initial snapshot. At this point
+        // every reader's delta subscription is registered and nothing has
+        // been published yet — the stats accessor must agree.
         primed.wait();
+        let opening = concurrent.stats();
+        assert_eq!(
+            opening.subscribers, readers,
+            "every reader holds a live delta subscription during the run"
+        );
+        assert_eq!(
+            opening.published_epochs, 0,
+            "nothing published before churn"
+        );
         for i in 0..instance.epochs.len() {
             let (_, snapshot) = concurrent.update(|catalog| instance.apply_epoch(i, catalog));
             published.push(snapshot);
@@ -165,11 +179,23 @@ pub fn run_churn_stress(
         histories = handles.into_iter().map(|h| h.join().unwrap()).collect();
     });
 
+    // Readers are joined and dropped: their subscriptions must be gone, and
+    // the publish counter must show exactly one snapshot per churn epoch.
+    let stats = concurrent.stats();
+    assert_eq!(stats.subscribers, 0, "dropped readers unsubscribe");
+    assert_eq!(
+        stats.published_epochs,
+        instance.epochs.len() as u64,
+        "one published snapshot per churn epoch"
+    );
+    assert_eq!(stats.epoch, concurrent.epoch());
+
     let reads = histories.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(StressHistory {
         final_epoch: published.last().expect("initial snapshot").epoch(),
         published,
         reads,
+        stats,
     })
 }
 
@@ -206,6 +232,9 @@ mod tests {
         let history = run_churn_stress(&instance, &layer, RebuildPolicy::threshold(6), 2).unwrap();
         assert_eq!(history.published.len(), instance.epochs.len() + 1);
         assert_eq!(history.reads.len(), 2);
+        assert_eq!(history.stats.epoch, history.final_epoch);
+        assert_eq!(history.stats.published_epochs, instance.epochs.len() as u64);
+        assert_eq!(history.stats.subscribers, 0);
         for records in &history.reads {
             assert!(!records.is_empty());
             // First serve is the pre-churn snapshot, last is the final one.

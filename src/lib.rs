@@ -15,6 +15,8 @@
 //! * [`optim`] — knapsack solvers, top-k selection, regression, statistics.
 //! * [`platform`] — a crowdsourcing-platform simulator standing in for AMT.
 //! * [`workload`] — synthetic workload generators used by the experiments.
+//! * [`durable`] — write-ahead-logged catalog tier: crash recovery and
+//!   deployment-decision provenance.
 //!
 //! # Quick example
 //!
@@ -31,6 +33,7 @@
 //! ```
 
 pub use stratrec_core as core;
+pub use stratrec_durable as durable;
 pub use stratrec_geometry as geometry;
 pub use stratrec_optim as optim;
 pub use stratrec_platform as platform;
