@@ -95,7 +95,7 @@ fn measure_readers(
 }
 
 fn bench_serving_scaling(c: &mut Criterion) {
-    let smoke = std::env::var_os("STRATREC_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0");
+    let smoke = stratrec_bench::artifact::smoke_mode();
     let reps = if smoke { 1 } else { 3 };
     let instance = serving_scenario();
     let layer = serving_layer(&instance);
@@ -153,9 +153,9 @@ fn bench_serving_scaling(c: &mut Criterion) {
         json_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
-    // Fail loudly: a silent write failure would let CI archive the stale
-    // committed copy as if it were this run's trajectory.
-    std::fs::write(path, json).unwrap_or_else(|error| panic!("could not write {path}: {error}"));
+    // Guarded: a smoke run never overwrites a committed real-run artifact,
+    // and a failed write panics rather than letting CI archive stale data.
+    stratrec_bench::artifact::write_json_artifact(path, &json, smoke);
 }
 
 criterion_group!(benches, bench_serving_scaling);

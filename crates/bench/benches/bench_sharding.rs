@@ -1,0 +1,238 @@
+//! Sharded aggregation at the paper's scale: shard-local top-k + k-way
+//! merge vs the flat row scan, at `|S| = 10 000`, `m = 64`, `k = 10`.
+//!
+//! Three arms, all asserted **bit-identical** before anything is timed:
+//!
+//! * `flat` — `WorkforceMatrix::aggregate`, the single-pass baseline.
+//! * `sharded/<s>` — `WorkforceMatrix::aggregate_sharded` on the calling
+//!   thread: per-shard candidate top-k over each column sub-range, then
+//!   `merge_k_smallest_into`. Measures the overhead/benefit of the
+//!   two-level structure itself at shard counts {1, 2, 4, 8}.
+//! * `engine/<s>x<t>` — `BatchEngine::with_threads(t).aggregate_sharded`:
+//!   shard-local passes fanned across scoped threads, deterministic merge
+//!   on the caller. The scaling claim (≥ 1.5× at 8 shards × 2 threads)
+//!   only holds with ≥ 2 hardware threads; the JSON records
+//!   `available_parallelism` so a cramped runner's numbers are not
+//!   mistaken for a regression.
+//!
+//! Alongside the sweep the run re-checks the fairness floor invariant on a
+//! 10× flooded tenant mix and emits `BENCH_sharding.json` at the workspace
+//! root (guarded: a smoke run never overwrites a committed real run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use stratrec_core::catalog::ShardPlan;
+use stratrec_core::engine::BatchEngine;
+use stratrec_core::stratrec::{StratRec, StratRecConfig};
+use stratrec_core::workforce::{AggregationMode, EligibilityRule, WorkforceMatrix};
+use stratrec_workload::scenario::{BatchScenario, ParameterDistribution};
+use stratrec_workload::tenants::TenantMixScenario;
+
+const STRATEGY_COUNT: usize = 10_000;
+const BATCH_SIZE: usize = 64;
+const K: usize = 10;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_COUNTS: [usize; 2] = [1, 2];
+
+fn batch_instance() -> stratrec_workload::scenario::BatchInstance {
+    BatchScenario {
+        batch_size: BATCH_SIZE,
+        strategy_count: STRATEGY_COUNT,
+        k: K,
+        availability: 0.5,
+        distribution: ParameterDistribution::Uniform,
+        seed: 2020,
+    }
+    .materialize()
+}
+
+/// Best-of-`reps` wall time per call, in microseconds (minimum over reps —
+/// the usual discipline against scheduler noise).
+fn best_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// The fairness floor check of the regression suite, rerun at bench scale:
+/// returns the minimum over tenants of `granted / min(demand, floor ·
+/// budget)` under a 10× flooding heavy tenant (≥ 1 means every floor held).
+fn fairness_floor_ratio(
+    instance: &stratrec_workload::scenario::BatchInstance,
+    catalog: &stratrec_core::catalog::StrategyCatalog,
+) -> f64 {
+    let mix = TenantMixScenario {
+        tenants: 4,
+        zipf_s: 0.0,
+        total_requests: 128,
+        heavy_tenant: Some(0),
+        heavy_factor: 10.0,
+        floor: 0.2,
+        seed: 7,
+    }
+    .materialize();
+    let batches: Vec<&[_]> = mix.batches.iter().map(Vec::as_slice).collect();
+    let availability = stratrec_core::availability::AvailabilityPdf::certain(0.85);
+    let budget = availability.expectation().value();
+    let layer = StratRec::new(StratRecConfig {
+        k: K,
+        ..StratRecConfig::default()
+    })
+    .with_shards(8);
+    let outcomes = layer
+        .process_tenant_batches(
+            &batches,
+            catalog,
+            &instance.models,
+            &availability,
+            &mix.policy,
+        )
+        .expect("policy arity matches the mix");
+    outcomes
+        .iter()
+        .map(|o| {
+            let entitlement = (0.2 * budget).min(o.demand);
+            if entitlement <= f64::EPSILON {
+                1.0
+            } else {
+                o.granted.value() / entitlement
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_sharded_aggregation(c: &mut Criterion) {
+    let smoke = stratrec_bench::artifact::smoke_mode();
+    let reps = if smoke { 2 } else { 30 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let instance = batch_instance();
+    let catalog = instance.catalog();
+    let matrix = WorkforceMatrix::compute_with_catalog(
+        &instance.requests,
+        &catalog,
+        &instance.models,
+        EligibilityRule::StrategyParameters,
+    )
+    .expect("models cover the catalog");
+    let mode = AggregationMode::Sum;
+
+    // Parity gate before timing anything: every sharded arm must reproduce
+    // the flat aggregation bit-for-bit.
+    let flat = matrix.aggregate(K, mode);
+    let flat_bits: Vec<_> = flat
+        .iter()
+        .map(|req| {
+            req.as_ref()
+                .map(|r| (r.workforce.to_bits(), &r.strategy_indices))
+        })
+        .collect();
+    for &shards in &SHARD_COUNTS {
+        let plan = ShardPlan::for_catalog(shards, &catalog);
+        for &threads in &THREAD_COUNTS {
+            let engine = BatchEngine::with_threads(threads);
+            let sharded = engine.aggregate_sharded(&matrix, K, mode, &plan);
+            let sharded_bits: Vec<_> = sharded
+                .iter()
+                .map(|req| {
+                    req.as_ref()
+                        .map(|r| (r.workforce.to_bits(), &r.strategy_indices))
+                })
+                .collect();
+            assert_eq!(
+                flat_bits, sharded_bits,
+                "sharded aggregation diverged at {shards} shards x {threads} threads"
+            );
+        }
+    }
+    let floor_ratio = fairness_floor_ratio(&instance, &catalog);
+    assert!(
+        floor_ratio >= 1.0 - 1e-9,
+        "fairness floor violated at bench scale: min ratio {floor_ratio}"
+    );
+
+    let mut json_rows = Vec::new();
+    let flat_us = best_us(reps, || {
+        black_box(matrix.aggregate(K, mode));
+    });
+    eprintln!("sharding/flat: {flat_us:.1} us");
+    json_rows.push(format!(
+        "    {{\"path\": \"flat\", \"shards\": 1, \"threads\": 1, \"elapsed_us\": {flat_us:.1}, \
+         \"speedup_vs_flat\": 1.00}}"
+    ));
+    for &shards in &SHARD_COUNTS {
+        let plan = ShardPlan::for_catalog(shards, &catalog);
+        let us = best_us(reps, || {
+            black_box(matrix.aggregate_sharded(K, mode, &plan));
+        });
+        eprintln!(
+            "sharding/sharded/{shards}: {us:.1} us ({:.2}x vs flat)",
+            flat_us / us
+        );
+        json_rows.push(format!(
+            "    {{\"path\": \"sharded\", \"shards\": {shards}, \"threads\": 1, \
+             \"elapsed_us\": {us:.1}, \"speedup_vs_flat\": {:.2}}}",
+            flat_us / us
+        ));
+    }
+    for &threads in &THREAD_COUNTS {
+        let engine = BatchEngine::with_threads(threads);
+        for &shards in &SHARD_COUNTS {
+            let plan = ShardPlan::for_catalog(shards, &catalog);
+            let us = best_us(reps, || {
+                black_box(engine.aggregate_sharded(&matrix, K, mode, &plan));
+            });
+            eprintln!(
+                "sharding/engine/{shards}x{threads}: {us:.1} us ({:.2}x vs flat)",
+                flat_us / us
+            );
+            json_rows.push(format!(
+                "    {{\"path\": \"engine\", \"shards\": {shards}, \"threads\": {threads}, \
+                 \"elapsed_us\": {us:.1}, \"speedup_vs_flat\": {:.2}}}",
+                flat_us / us
+            ));
+        }
+    }
+
+    // Criterion-visible wrapper so the regular bench leg tracks the same
+    // paths for regressions.
+    let mut group = c.benchmark_group("sharded_aggregation");
+    group.sample_size(10);
+    group.bench_function("flat", |b| {
+        b.iter(|| black_box(matrix.aggregate(K, mode)));
+    });
+    for &shards in &[1_usize, 8] {
+        let plan = ShardPlan::for_catalog(shards, &catalog);
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, _| {
+            b.iter(|| black_box(matrix.aggregate_sharded(K, mode, &plan)));
+        });
+        let engine = BatchEngine::with_threads(2);
+        group.bench_with_input(
+            BenchmarkId::new("engine_2_threads", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| black_box(engine.aggregate_sharded(&matrix, K, mode, &plan)));
+            },
+        );
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"sharding\",\n  \"scenario\": {{\"strategy_count\": {STRATEGY_COUNT}, \
+         \"batch_size\": {BATCH_SIZE}, \"k\": {K}}},\n  \"smoke\": {smoke},\n  \
+         \"available_parallelism\": {cores},\n  \"parity\": \"bit_identical\",\n  \
+         \"fairness\": {{\"heavy_factor\": 10.0, \"floor\": 0.2, \
+         \"min_floor_ratio\": {floor_ratio:.4}, \"floors_hold\": true}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharding.json");
+    stratrec_bench::artifact::write_json_artifact(path, &json, smoke);
+}
+
+criterion_group!(benches, bench_sharded_aggregation);
+criterion_main!(benches);

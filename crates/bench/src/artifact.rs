@@ -1,0 +1,98 @@
+//! Guarded `BENCH_*.json` artifact writes.
+//!
+//! The bench binaries emit machine-readable trajectory artifacts at the
+//! workspace root, and those files are **committed**: they record real
+//! measured runs. CI's bench-smoke leg runs the same binaries with
+//! `STRATREC_BENCH_SMOKE=1` as a fast compile-and-exercise pass — its
+//! numbers are meaningless, and letting a smoke run overwrite a committed
+//! real-run artifact would silently corrupt the recorded trajectory. The
+//! guard here refuses exactly that: a smoke run never replaces an artifact
+//! whose JSON says `"smoke": false`.
+
+use std::path::Path;
+
+/// True when this process runs in bench smoke mode
+/// (`STRATREC_BENCH_SMOKE` set to a non-empty value other than `0`).
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var_os("STRATREC_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Writes `json` to `path` — unless this is a smoke run and the existing
+/// artifact records a real (non-smoke) run, in which case the committed
+/// data is kept and a notice is printed to stderr.
+///
+/// # Panics
+///
+/// Panics when the write fails: a silent failure would let CI archive the
+/// stale committed copy as if it were this run's trajectory.
+pub fn write_json_artifact(path: &str, json: &str, smoke: bool) {
+    let name = Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(path);
+    if smoke {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if existing.contains("\"smoke\": false") {
+                eprintln!("smoke run: keeping committed non-smoke artifact {name}");
+                return;
+            }
+        }
+    }
+    std::fs::write(path, json).unwrap_or_else(|error| panic!("could not write {path}: {error}"));
+    eprintln!("wrote {name} (smoke: {smoke})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "stratrec_artifact_{tag}_{}.json",
+            std::process::id()
+        ));
+        path.to_str().expect("utf-8 temp path").to_owned()
+    }
+
+    #[test]
+    fn smoke_runs_never_clobber_a_committed_real_run() {
+        let path = temp_path("guard");
+        let real = "{\"smoke\": false, \"x\": 1}\n";
+        std::fs::write(&path, real).unwrap();
+        write_json_artifact(&path, "{\"smoke\": true, \"x\": 2}\n", true);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), real);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn smoke_runs_may_replace_smoke_artifacts_and_real_runs_replace_anything() {
+        let path = temp_path("replace");
+        std::fs::write(&path, "{\"smoke\": true, \"x\": 1}\n").unwrap();
+        let next_smoke = "{\"smoke\": true, \"x\": 2}\n";
+        write_json_artifact(&path, next_smoke, true);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), next_smoke);
+        let real = "{\"smoke\": false, \"x\": 3}\n";
+        write_json_artifact(&path, real, false);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), real);
+        // A later real run may overwrite a committed real run: fresh
+        // measurements supersede old ones.
+        let newer = "{\"smoke\": false, \"x\": 4}\n";
+        write_json_artifact(&path, newer, false);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), newer);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_missing_artifact_is_written_even_in_smoke_mode() {
+        let path = temp_path("missing");
+        std::fs::remove_file(&path).ok();
+        write_json_artifact(&path, "{\"smoke\": true}\n", true);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"smoke\": true}\n"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adpar_quality;
+pub mod artifact;
 pub mod objective;
 pub mod realdata;
 pub mod report;

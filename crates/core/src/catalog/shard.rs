@@ -1,0 +1,349 @@
+//! Shard plans: contiguous partitions of the catalog's slot range.
+//!
+//! The multi-tenant aggregation tier splits every workforce-matrix row into
+//! per-shard column sub-ranges — each shard computes a shard-local top-k and
+//! a k-way merge reassembles the global selection
+//! (`topk::merge_k_smallest_into`), bit-identical to the flat path. A
+//! [`ShardPlan`] is the partition itself: `shards + 1` ascending bounds over
+//! `0..slot_count`, one contiguous `[bounds[i], bounds[i + 1])` sub-range
+//! per shard. Contiguity is what makes the two-level aggregate exact:
+//! ascending local index order within a sub-range *is* ascending global
+//! index order, so shard-local tie-breaks agree with the flat path's global
+//! tie-breaks by construction.
+//!
+//! Plans follow the catalog's slot lifecycle with upkeep proportional to
+//! churn, not to `|S|` ([`ShardPlan::apply_delta`]):
+//!
+//! * **appends** extend the **last** shard's range — every other bound is
+//!   untouched, so per-shard derived state (candidate lists, caches) stays
+//!   valid without redistribution. A long append-heavy run therefore skews
+//!   the last shard; callers that care rebuild the partition at their own
+//!   cadence with a fresh [`ShardPlan::uniform`] (a re-prime, exactly like
+//!   a standing-batch shape change).
+//! * **retirements** move no bounds (the slot keeps its number, the cell
+//!   goes `∞`); shards shrink logically, observable via
+//!   [`ShardPlan::live_counts`] over the catalog's packed SoA liveness
+//!   words.
+//! * **compactions** renumber every bound to the count of surviving slots
+//!   below it. Dense renumbering preserves slot order, so every surviving
+//!   slot stays in the shard that owned it — per-shard state survives
+//!   modulo the same [`SlotRemap`] the rest of the pipeline applies.
+
+use serde::{Deserialize, Serialize};
+
+use super::soa::WORD_BITS;
+use super::{CatalogDelta, SlotRemap, StrategyCatalog};
+
+/// A contiguous partition of the slot range `0..cols` into shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// `shards + 1` ascending bounds; shard `i` owns `bounds[i]..bounds[i+1]`.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// An even partition of `0..cols` into `shards` contiguous sub-ranges
+    /// (sizes differ by at most one; `shards` is clamped to at least 1).
+    /// Shards may be empty when `cols < shards`.
+    #[must_use]
+    pub fn uniform(shards: usize, cols: usize) -> Self {
+        let shards = shards.max(1);
+        let bounds = (0..=shards).map(|i| i * cols / shards).collect();
+        Self { bounds }
+    }
+
+    /// A plan partitioning `catalog`'s current slot range evenly.
+    #[must_use]
+    pub fn for_catalog(shards: usize, catalog: &StrategyCatalog) -> Self {
+        Self::uniform(shards, catalog.slot_count())
+    }
+
+    /// A plan from explicit bounds — the per-tenant form, where each tenant
+    /// owns a slot range of its own size. `bounds` must start at 0 and be
+    /// non-decreasing, with at least two entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` has fewer than two entries, does not start at
+    /// 0, or decreases anywhere.
+    #[must_use]
+    pub fn from_bounds(bounds: Vec<usize>) -> Self {
+        assert!(
+            bounds.len() >= 2,
+            "a shard plan needs at least one shard (two bounds), got {bounds:?}"
+        );
+        assert_eq!(bounds[0], 0, "shard bounds must start at slot 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "shard bounds must be non-decreasing, got {bounds:?}"
+        );
+        Self { bounds }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The slot width the plan partitions (the last bound).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        *self.bounds.last().expect("bounds are never empty")
+    }
+
+    /// The ascending bounds, `shard_count() + 1` of them.
+    #[must_use]
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Shard `i`'s column sub-range.
+    #[must_use]
+    pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
+        self.bounds[shard]..self.bounds[shard + 1]
+    }
+
+    /// Iterates every shard's column sub-range in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        self.bounds.windows(2).map(|w| w[0]..w[1])
+    }
+
+    /// The shard owning column `col` (`col < cols()`; empty shards never
+    /// own anything). For a column on a bound between an empty shard and a
+    /// non-empty one, the owner is the non-empty shard.
+    #[must_use]
+    pub fn shard_of(&self, col: usize) -> usize {
+        debug_assert!(col < self.cols(), "column {col} outside 0..{}", self.cols());
+        self.bounds[1..].partition_point(|&b| b <= col)
+    }
+
+    /// Follows one catalog churn window: renumbers the bounds through the
+    /// window's compaction remap (if any) and extends the **last** shard to
+    /// cover the appended slots. Cost is `O(shards + remap length)`,
+    /// independent of how much state the shards carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan's width does not match the delta's source
+    /// width (the plan missed a window or belongs to another catalog).
+    pub fn apply_delta(&mut self, delta: &CatalogDelta) {
+        assert_eq!(
+            self.cols(),
+            delta.source_cols,
+            "shard plan width must match the delta's source width"
+        );
+        if let Some(remap) = &delta.remap {
+            self.apply_remap(remap);
+        }
+        *self.bounds.last_mut().expect("bounds are never empty") = delta.target_cols;
+    }
+
+    /// Renumbers every bound through a compaction remap: a bound becomes
+    /// the number of surviving slots below it, so each surviving slot stays
+    /// in its shard (dense renumbering preserves order).
+    pub fn apply_remap(&mut self, remap: &SlotRemap) {
+        debug_assert_eq!(
+            self.cols(),
+            remap.len(),
+            "shard plan width must match the remap's source width"
+        );
+        let mut survivors_below = 0;
+        let mut old = 0;
+        for bound in &mut self.bounds {
+            survivors_below += remap.forward[old..*bound]
+                .iter()
+                .filter(|new| new.is_some())
+                .count();
+            old = *bound;
+            *bound = survivors_below;
+        }
+    }
+
+    /// Live slots per shard, counted off the catalog's packed SoA liveness
+    /// words (whole zero words skip 64 slots at a time) — the per-shard
+    /// weight signal for fairness splits and scaling reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan's width does not match the catalog's slot
+    /// count.
+    #[must_use]
+    pub fn live_counts(&self, catalog: &StrategyCatalog) -> Vec<usize> {
+        let soa = catalog.soa();
+        assert_eq!(
+            self.cols(),
+            soa.len(),
+            "shard plan width must match the catalog's slot count"
+        );
+        let words = soa.live_words();
+        self.ranges()
+            .map(|range| {
+                let mut count = 0;
+                let mut slot = range.start;
+                while slot < range.end {
+                    let word_idx = slot / WORD_BITS;
+                    let word_end = ((word_idx + 1) * WORD_BITS).min(range.end);
+                    let mut word = words[word_idx];
+                    // Mask off bits below the range start and at or above
+                    // its end within this word.
+                    word &= !0_u64 << (slot % WORD_BITS);
+                    if word_end == (word_idx + 1) * WORD_BITS {
+                        // Whole rest of the word is in range.
+                    } else {
+                        word &= (1_u64 << (word_end % WORD_BITS)) - 1;
+                    }
+                    count += word.count_ones() as usize;
+                    slot = word_end;
+                }
+                count
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::RebuildPolicy;
+    use super::*;
+    use crate::model::{DeploymentParameters, Strategy};
+
+    fn varied_strategy(id: u64) -> Strategy {
+        Strategy::from_params(
+            id,
+            DeploymentParameters::clamped(
+                0.3 + ((id * 13) % 60) as f64 / 100.0,
+                0.2 + ((id * 29) % 70) as f64 / 100.0,
+                0.1 + ((id * 17) % 80) as f64 / 100.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn uniform_partitions_evenly_and_contiguously() {
+        for (shards, cols) in [(1, 10), (3, 10), (8, 10_000), (4, 3), (2, 0), (5, 64)] {
+            let plan = ShardPlan::uniform(shards, cols);
+            assert_eq!(plan.shard_count(), shards);
+            assert_eq!(plan.cols(), cols);
+            assert_eq!(plan.bounds()[0], 0);
+            let total: usize = plan.ranges().map(|r| r.len()).sum();
+            assert_eq!(total, cols, "{shards} shards over {cols}");
+            let sizes: Vec<usize> = plan.ranges().map(|r| r.len()).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "uneven split: {sizes:?}");
+        }
+        // Zero shards clamps to one.
+        assert_eq!(ShardPlan::uniform(0, 7).shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_of_inverts_the_ranges() {
+        let plan = ShardPlan::from_bounds(vec![0, 3, 3, 7, 10]);
+        for (shard, range) in plan.ranges().enumerate() {
+            for col in range {
+                assert_eq!(plan.shard_of(col), shard, "col {col}");
+            }
+        }
+        assert_eq!(plan.shard_of(0), 0);
+        assert_eq!(plan.shard_of(3), 2, "empty shard 1 owns nothing");
+        assert_eq!(plan.shard_of(9), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at slot 0")]
+    fn from_bounds_rejects_nonzero_start() {
+        let _ = ShardPlan::from_bounds(vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_bounds_rejects_decreasing_bounds() {
+        let _ = ShardPlan::from_bounds(vec![0, 5, 3]);
+    }
+
+    #[test]
+    fn deltas_extend_the_last_shard_and_remap_bounds() {
+        let mut catalog = StrategyCatalog::with_policy(
+            (0..10).map(varied_strategy).collect::<Vec<_>>(),
+            RebuildPolicy::never(),
+        );
+        let mut plan = ShardPlan::for_catalog(2, &catalog);
+        assert_eq!(plan.bounds(), &[0, 5, 10]);
+        let subscription = catalog.subscribe_delta();
+
+        // Appends land in the last shard; the interior bound is untouched.
+        catalog.insert(varied_strategy(100));
+        catalog.insert(varied_strategy(101));
+        let delta = catalog.take_delta(&subscription).unwrap();
+        plan.apply_delta(&delta);
+        assert_eq!(plan.bounds(), &[0, 5, 12]);
+
+        // Retire slots 1 and 6, then compact: bounds renumber to the count
+        // of survivors below them, so shard membership is preserved.
+        assert!(catalog.retire(1));
+        assert!(catalog.retire(6));
+        let shard_before: Vec<usize> = catalog
+            .live_indices()
+            .iter()
+            .map(|&s| plan.shard_of(s))
+            .collect();
+        let remap = catalog.compact();
+        let delta = catalog.take_delta(&subscription).unwrap();
+        plan.apply_delta(&delta);
+        assert_eq!(plan.cols(), catalog.slot_count());
+        assert_eq!(plan.bounds(), &[0, 4, 10]);
+        let shard_after: Vec<usize> = (0..catalog.slot_count())
+            .map(|s| plan.shard_of(s))
+            .collect();
+        for (old, new) in remap.mapped_pairs() {
+            assert_eq!(
+                shard_before[catalog
+                    .live_indices()
+                    .iter()
+                    .position(|&s| s == new)
+                    .unwrap()],
+                shard_after[new],
+                "slot {old} -> {new} changed shards"
+            );
+        }
+        catalog.unsubscribe_delta(subscription);
+    }
+
+    #[test]
+    fn live_counts_match_a_linear_scan_across_churn() {
+        let mut catalog = StrategyCatalog::with_policy(
+            (0..130).map(varied_strategy).collect::<Vec<_>>(),
+            RebuildPolicy::threshold(4),
+        );
+        for shards in [1, 2, 3, 8] {
+            let plan = ShardPlan::for_catalog(shards, &catalog);
+            let counts = plan.live_counts(&catalog);
+            let expected: Vec<usize> = plan
+                .ranges()
+                .map(|range| range.filter(|&slot| catalog.is_live(slot)).count())
+                .collect();
+            assert_eq!(counts, expected, "{shards} shards");
+            assert_eq!(counts.iter().sum::<usize>(), catalog.len());
+        }
+        // Churn (retire across word boundaries, insert, compact) and
+        // re-check against the scan.
+        for slot in [0, 63, 64, 65, 127] {
+            assert!(catalog.retire(slot));
+        }
+        catalog.insert(varied_strategy(500));
+        let plan = ShardPlan::for_catalog(3, &catalog);
+        let expected: Vec<usize> = plan
+            .ranges()
+            .map(|range| range.filter(|&slot| catalog.is_live(slot)).count())
+            .collect();
+        assert_eq!(plan.live_counts(&catalog), expected);
+        catalog.compact();
+        let plan = ShardPlan::for_catalog(3, &catalog);
+        let expected: Vec<usize> = plan
+            .ranges()
+            .map(|range| range.filter(|&slot| catalog.is_live(slot)).count())
+            .collect();
+        assert_eq!(plan.live_counts(&catalog), expected);
+    }
+}

@@ -16,6 +16,10 @@ pub enum StratRecError {
     },
     /// A probability distribution over worker availability was invalid.
     InvalidDistribution(String),
+    /// A [`crate::fairness::FairnessPolicy`] was malformed: a floor or
+    /// weight was negative or non-finite, the floors summed past the whole
+    /// budget, or the policy named no tenants.
+    InvalidFairnessPolicy(String),
     /// The cardinality constraint `k` was zero.
     ZeroCardinality,
     /// The strategy set was empty where at least one strategy is required.
@@ -99,6 +103,7 @@ impl std::fmt::Display for StratRecError {
                 )
             }
             Self::InvalidDistribution(msg) => write!(f, "invalid availability distribution: {msg}"),
+            Self::InvalidFairnessPolicy(msg) => write!(f, "invalid fairness policy: {msg}"),
             Self::ZeroCardinality => write!(f, "cardinality constraint k must be at least 1"),
             Self::EmptyStrategySet => write!(f, "the strategy set is empty"),
             Self::NotEnoughStrategies {
@@ -155,6 +160,10 @@ mod tests {
                 StratRecError::InvalidDistribution("does not sum to 1".into()),
                 "distribution",
             ),
+            (
+                StratRecError::InvalidFairnessPolicy("floors sum to 1.2".into()),
+                "fairness",
+            ),
             (StratRecError::ZeroCardinality, "cardinality"),
             (StratRecError::EmptyStrategySet, "empty"),
             (
@@ -209,6 +218,7 @@ mod tests {
         match err {
             StratRecError::ParameterOutOfRange { .. } => "ParameterOutOfRange",
             StratRecError::InvalidDistribution(_) => "InvalidDistribution",
+            StratRecError::InvalidFairnessPolicy(_) => "InvalidFairnessPolicy",
             StratRecError::ZeroCardinality => "ZeroCardinality",
             StratRecError::EmptyStrategySet => "EmptyStrategySet",
             StratRecError::NotEnoughStrategies { .. } => "NotEnoughStrategies",
@@ -228,6 +238,7 @@ mod tests {
                 value: 1.5,
             },
             StratRecError::InvalidDistribution(String::new()),
+            StratRecError::InvalidFairnessPolicy(String::new()),
             StratRecError::ZeroCardinality,
             StratRecError::EmptyStrategySet,
             StratRecError::NotEnoughStrategies {
@@ -252,7 +263,7 @@ mod tests {
         .iter()
         .map(variant_tag)
         .collect();
-        assert_eq!(audited.len(), 10, "one sample per variant, no duplicates");
+        assert_eq!(audited.len(), 11, "one sample per variant, no duplicates");
     }
 
     #[test]

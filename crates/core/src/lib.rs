@@ -61,6 +61,7 @@ pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod examples_data;
+pub mod fairness;
 pub mod model;
 pub mod modeling;
 pub mod stratrec;
@@ -78,20 +79,21 @@ pub mod prelude {
     };
     pub use crate::catalog::{
         CatalogDelta, CatalogMutation, CatalogStats, ConcurrentCatalog, DeltaSubscription,
-        EpochSnapshot, RebuildPolicy, SlotRemap, SnapshotReader, StrategyCatalog,
+        EpochSnapshot, RebuildPolicy, ShardPlan, SlotRemap, SnapshotReader, StrategyCatalog,
     };
     pub use crate::engine::BatchEngine;
     pub use crate::error::StratRecError;
+    pub use crate::fairness::{FairnessPolicy, TenantShare};
     pub use crate::model::{
         DeploymentParameters, DeploymentRequest, Organization, RequestId, Strategy, StrategyId,
         Structure, Style, TaskType,
     };
     pub use crate::modeling::{LinearModel, ModelLibrary, ParameterKind, StrategyModel};
     pub use crate::stratrec::{
-        SnapshotSession, StratRec, StratRecConfig, StratRecReport, StratRecSession,
+        SnapshotSession, StratRec, StratRecConfig, StratRecReport, StratRecSession, TenantOutcome,
     };
     pub use crate::workforce::{
         AggregationCache, AggregationMode, EligibilityRule, Precision, RequestRequirement,
-        WorkforceMatrix,
+        ShardedAggregationCache, WorkforceMatrix,
     };
 }

@@ -22,12 +22,17 @@ use std::sync::Arc;
 use crate::adpar::AdparSolution;
 use crate::availability::{AvailabilityPdf, WorkerAvailability};
 use crate::batch::{BatchObjective, BatchOutcome, BatchStrat};
-use crate::catalog::{DeltaSubscription, EpochSnapshot, SnapshotReader, StrategyCatalog};
+use crate::catalog::{
+    CatalogDelta, DeltaSubscription, EpochSnapshot, ShardPlan, SnapshotReader, StrategyCatalog,
+};
 use crate::engine::BatchEngine;
 use crate::error::StratRecError;
+use crate::fairness::FairnessPolicy;
 use crate::model::{DeploymentRequest, Strategy};
 use crate::modeling::{ModelLibrary, StrategyModel};
-use crate::workforce::{AggregationCache, AggregationMode, WorkforceMatrix};
+use crate::workforce::{
+    AggregationCache, AggregationMode, RequestRequirement, ShardedAggregationCache, WorkforceMatrix,
+};
 
 /// Configuration of the middle layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,6 +100,11 @@ pub struct StratRec {
     /// Batch executor sharding workforce-matrix rows and ADPaR solves
     /// across scoped threads (defaults to one worker per core).
     pub engine: BatchEngine,
+    /// Column-shard count for the two-level aggregate; `0` or `1` selects
+    /// the flat path. Kept private so the only way in is
+    /// [`Self::with_shards`], which documents the bit-identity contract.
+    #[serde(default)]
+    shards: usize,
 }
 
 impl StratRec {
@@ -105,6 +115,7 @@ impl StratRec {
         Self {
             config,
             engine: BatchEngine::new(),
+            shards: 0,
         }
     }
 
@@ -114,6 +125,43 @@ impl StratRec {
     pub fn with_engine(mut self, engine: BatchEngine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Serves aggregation through the **two-level sharded** path: each
+    /// matrix row's top-k is computed per column shard
+    /// ([`ShardPlan::uniform`] over the slot range, fanned out on the
+    /// engine's threads) and k-way-merged into the global requirement.
+    /// Reports are **bit-identical** to the flat path for every shard
+    /// count — sharding changes wall-clock time and cache-repair locality,
+    /// never an output bit. `0` or `1` restores the flat path.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The configured column-shard count (`0`/`1` = flat aggregation).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard plan the layer aggregates with at the given matrix width,
+    /// or `None` on the flat path.
+    fn shard_plan_for(&self, cols: usize) -> Option<ShardPlan> {
+        (self.shards > 1).then(|| ShardPlan::uniform(self.shards, cols))
+    }
+
+    /// Aggregates `matrix` on the configured path: flat, or shard-local
+    /// top-k + merge when shards are configured.
+    fn aggregate_matrix(&self, matrix: &WorkforceMatrix) -> Vec<Option<RequestRequirement>> {
+        match self.shard_plan_for(matrix.cols()) {
+            Some(plan) => {
+                self.engine
+                    .aggregate_sharded(matrix, self.config.k, self.config.aggregation, &plan)
+            }
+            None => matrix.aggregate(self.config.k, self.config.aggregation),
+        }
     }
 
     /// Processes a batch of deployment requests: estimates availability from
@@ -163,7 +211,8 @@ impl StratRec {
         let matrix =
             self.engine
                 .workforce_matrix(requests, catalog, models, aggregator.eligibility)?;
-        let batch = aggregator.recommend_from_matrix(requests, &matrix, self.config.k, expected);
+        let requirements = self.aggregate_matrix(&matrix);
+        let batch = aggregator.select(requests, &requirements, expected);
         let solutions =
             self.engine
                 .solve_adpar_batch(requests, catalog, &batch.unsatisfied, self.config.k);
@@ -271,6 +320,7 @@ impl StratRec {
                     && matrix.precision() == self.engine.precision()
                     && cache.k() == self.config.k
                     && cache.mode() == self.config.aggregation
+                    && cache.matches_sharding(self.shards)
         );
         if reusable {
             let subscription = session
@@ -323,8 +373,7 @@ impl StratRec {
             &mut matrix,
             &mut session.model_buf,
         )?;
-        let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
-        cache.prime(&matrix);
+        let cache = self.primed_cache(&matrix);
         session.last_repaired_rows = matrix.rows();
         // Subscribe *after* the compute: both observe the same epoch
         // (the caller holds the catalog exclusively throughout).
@@ -332,6 +381,25 @@ impl StratRec {
         session.matrix = Some(matrix);
         session.cache = Some(cache);
         Ok(())
+    }
+
+    /// A freshly primed aggregation cache on the configured path: flat, or
+    /// per-shard candidate caches under a uniform [`ShardPlan`] over the
+    /// matrix's slot range.
+    fn primed_cache(&self, matrix: &WorkforceMatrix) -> SessionCache {
+        match self.shard_plan_for(matrix.cols()) {
+            Some(plan) => {
+                let mut cache =
+                    ShardedAggregationCache::new(self.config.k, self.config.aggregation, plan);
+                cache.prime(matrix);
+                SessionCache::Sharded(cache)
+            }
+            None => {
+                let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
+                cache.prime(matrix);
+                SessionCache::Flat(cache)
+            }
+        }
     }
 
     /// The **concurrent** counterpart of [`Self::process_batch_with_session`]:
@@ -426,6 +494,7 @@ impl StratRec {
                     && matrix.precision() == self.engine.precision()
                     && cache.k() == self.config.k
                     && cache.mode() == self.config.aggregation
+                    && cache.matches_sharding(self.shards)
         );
         if reusable {
             // An evicted reader fails the migration typed
@@ -474,12 +543,149 @@ impl StratRec {
             &mut matrix,
             &mut session.model_buf,
         )?;
-        let mut cache = AggregationCache::new(self.config.k, self.config.aggregation);
-        cache.prime(&matrix);
+        let cache = self.primed_cache(&matrix);
         session.last_repaired_rows = matrix.rows();
         session.matrix = Some(matrix);
         session.cache = Some(cache);
         Ok(snapshot)
+    }
+
+    /// Serves one batch **per tenant** over a shared catalog and one shared
+    /// availability budget, divided by `policy` ([`FairnessPolicy::split`]):
+    /// every tenant's aggregate demand is computed first (on the configured
+    /// flat or sharded path), the budget is split into per-tenant grants —
+    /// floors before weighted residual, so a tenant flooding the queue can
+    /// never starve another below its floor — and each tenant's Aggregator
+    /// then selects against **its own grant** instead of the whole pool.
+    ///
+    /// Outcomes come back in tenant order and are deterministic: the split
+    /// is a pure function of `(policy, budget, demands)` and each per-tenant
+    /// selection is the ordinary [`BatchStrat::select`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::InvalidFairnessPolicy`] when `policy` does
+    /// not name exactly one share per tenant batch, and
+    /// [`StratRecError::MissingModel`] as the single-tenant paths do.
+    pub fn process_tenant_batches(
+        &self,
+        batches: &[&[DeploymentRequest]],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+        policy: &FairnessPolicy,
+    ) -> Result<Vec<TenantOutcome>, StratRecError> {
+        if policy.tenant_count() != batches.len() {
+            return Err(StratRecError::InvalidFairnessPolicy(format!(
+                "policy names {} tenants but {} batches were submitted",
+                policy.tenant_count(),
+                batches.len()
+            )));
+        }
+        let budget = availability.expectation().value();
+        let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
+        let mut requirements: Vec<Vec<Option<RequestRequirement>>> =
+            Vec::with_capacity(batches.len());
+        for batch in batches {
+            let matrix =
+                self.engine
+                    .workforce_matrix(batch, catalog, models, aggregator.eligibility)?;
+            requirements.push(self.aggregate_matrix(&matrix));
+        }
+        let demands: Vec<f64> = requirements
+            .iter()
+            .map(|reqs| {
+                reqs.iter()
+                    .flatten()
+                    .map(|requirement| requirement.workforce)
+                    .filter(|workforce| workforce.is_finite())
+                    .sum()
+            })
+            .collect();
+        let grants = policy.split(budget, &demands);
+        batches
+            .iter()
+            .zip(requirements.iter().zip(demands.iter().zip(grants)))
+            .enumerate()
+            .map(|(tenant, (batch, (reqs, (&demand, grant))))| {
+                let granted = WorkerAvailability::new(grant)?;
+                let outcome = aggregator.select(batch, reqs, granted);
+                Ok(TenantOutcome {
+                    tenant,
+                    demand,
+                    granted,
+                    batch: outcome,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One tenant's result from [`StratRec::process_tenant_batches`]: what it
+/// asked for, what the [`FairnessPolicy`] granted it, and the Aggregator's
+/// selection under that grant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Index of the tenant in the submitted batch list (and in the
+    /// policy's share list).
+    pub tenant: usize,
+    /// The tenant's aggregate workforce demand: the sum of its feasible
+    /// requests' requirements.
+    pub demand: f64,
+    /// The availability budget the fairness split granted this tenant.
+    pub granted: WorkerAvailability,
+    /// The Aggregator's outcome for the tenant's batch under its grant.
+    pub batch: BatchOutcome,
+}
+
+/// The aggregation state a serving session maintains across epochs: the
+/// flat [`AggregationCache`] or its sharded counterpart, depending on the
+/// layer's [`StratRec::with_shards`] setting at prime time. Both repair
+/// lazily under [`CatalogDelta`]s and cache requirements that are
+/// bit-identical to each other, so switching the knob between calls simply
+/// re-primes on the other variant.
+#[derive(Debug)]
+enum SessionCache {
+    Flat(AggregationCache),
+    Sharded(ShardedAggregationCache),
+}
+
+impl SessionCache {
+    fn k(&self) -> usize {
+        match self {
+            Self::Flat(cache) => cache.k(),
+            Self::Sharded(cache) => cache.k(),
+        }
+    }
+
+    fn mode(&self) -> AggregationMode {
+        match self {
+            Self::Flat(cache) => cache.mode(),
+            Self::Sharded(cache) => cache.mode(),
+        }
+    }
+
+    fn requirements(&self) -> &[Option<RequestRequirement>] {
+        match self {
+            Self::Flat(cache) => cache.requirements(),
+            Self::Sharded(cache) => cache.requirements(),
+        }
+    }
+
+    fn repair(&mut self, matrix: &WorkforceMatrix, delta: &CatalogDelta) -> usize {
+        match self {
+            Self::Flat(cache) => cache.repair(matrix, delta),
+            Self::Sharded(cache) => cache.repair(matrix, delta),
+        }
+    }
+
+    /// Whether this cache variant serves the given shard knob without a
+    /// re-prime.
+    fn matches_sharding(&self, shards: usize) -> bool {
+        match self {
+            Self::Flat(_) => shards <= 1,
+            Self::Sharded(cache) => cache.shard_count() == shards,
+        }
     }
 }
 
@@ -493,7 +699,7 @@ impl StratRec {
 #[derive(Debug, Default)]
 pub struct SnapshotSession {
     matrix: Option<WorkforceMatrix>,
-    cache: Option<AggregationCache>,
+    cache: Option<SessionCache>,
     model_buf: Vec<Option<StrategyModel>>,
     last_repaired_rows: usize,
 }
@@ -541,7 +747,7 @@ impl SnapshotSession {
 #[derive(Debug, Default)]
 pub struct StratRecSession {
     matrix: Option<WorkforceMatrix>,
-    cache: Option<AggregationCache>,
+    cache: Option<SessionCache>,
     subscription: Option<DeltaSubscription>,
     model_buf: Vec<Option<StrategyModel>>,
     last_repaired_rows: usize,
@@ -1151,5 +1357,146 @@ mod tests {
             .unwrap();
         assert!(report.batch.satisfied.is_empty());
         assert_eq!(report.alternatives.len(), 3);
+    }
+
+    #[test]
+    fn sharded_layers_produce_identical_reports_to_the_flat_path() {
+        let (catalog, models, requests, availability) = session_fixture();
+        let flat = StratRec::default()
+            .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+            .unwrap();
+        for shards in [0, 1, 2, 3, 8, 18] {
+            let report = StratRec::default()
+                .with_shards(shards)
+                .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+                .unwrap();
+            assert_eq!(report, flat, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_sessions_match_the_flat_pipeline_across_churn() {
+        // A sharded serving session (per-shard caches repaired per epoch)
+        // must report exactly what the flat full pipeline reports, and
+        // toggling the shard knob mid-stream must transparently re-prime.
+        let (mut catalog, mut models, requests, availability) = session_fixture();
+        let layer = StratRec::default().with_shards(3);
+        let mut session = StratRecSession::new();
+        let mut next_id = 18_u64;
+        for epoch in 0..6 {
+            if epoch > 0 {
+                for _ in 0..2 {
+                    let strategy = fixture_strategy(next_id);
+                    models.insert(strategy.id, fixture_model(next_id));
+                    catalog.insert(strategy);
+                    next_id += 1;
+                }
+                let live = catalog.live_indices();
+                assert!(catalog.retire(live[epoch % live.len()]));
+                if epoch == 3 {
+                    catalog.compact();
+                }
+            }
+            let incremental = layer
+                .process_batch_with_session(
+                    &requests,
+                    &mut catalog,
+                    &models,
+                    &availability,
+                    &mut session,
+                )
+                .unwrap();
+            let full = StratRec::default()
+                .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+                .unwrap();
+            assert_eq!(incremental, full, "epoch {epoch}");
+            if epoch > 0 {
+                assert!(session.last_repaired_rows() <= requests.len());
+            }
+        }
+        // Flipping back to the flat path re-primes rather than serving from
+        // the sharded cache variant.
+        let flat_layer = StratRec::default();
+        let report = flat_layer
+            .process_batch_with_session(
+                &requests,
+                &mut catalog,
+                &models,
+                &availability,
+                &mut session,
+            )
+            .unwrap();
+        assert_eq!(session.last_repaired_rows(), requests.len(), "re-primed");
+        let full = flat_layer
+            .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+            .unwrap();
+        assert_eq!(report, full);
+        session.detach(&mut catalog);
+        assert_eq!(catalog.delta_subscriber_count(), 0);
+    }
+
+    #[test]
+    fn tenant_batches_split_the_budget_and_honor_floors() {
+        use crate::fairness::{FairnessPolicy, TenantShare};
+        let (catalog, models, requests, availability) = session_fixture();
+        // Tenant 0 floods the queue with 10× the volume of tenants 1 and 2.
+        let heavy: Vec<DeploymentRequest> = (0..10).flat_map(|_| requests.clone()).collect();
+        let light_a = requests.clone();
+        let light_b = &requests[..3];
+        let policy = FairnessPolicy::new(vec![
+            TenantShare::new(0.2, 1.0),
+            TenantShare::new(0.2, 1.0),
+            TenantShare::new(0.2, 1.0),
+        ])
+        .unwrap();
+        for layer in [StratRec::default(), StratRec::default().with_shards(4)] {
+            let outcomes = layer
+                .process_tenant_batches(
+                    &[&heavy, &light_a, light_b],
+                    &catalog,
+                    &models,
+                    &availability,
+                    &policy,
+                )
+                .unwrap();
+            assert_eq!(outcomes.len(), 3);
+            let budget = availability.expectation().value();
+            let total: f64 = outcomes.iter().map(|o| o.granted.value()).sum();
+            assert!(total <= budget + 1e-12);
+            for outcome in &outcomes[1..] {
+                // The heavy tenant must never push a light one below its
+                // floor (a tenant demanding less than the floor is simply
+                // satisfied in full).
+                let entitled = (0.2 * budget).min(outcome.demand);
+                assert!(
+                    outcome.granted.value() >= entitled - 1e-12,
+                    "tenant {} got {} under its entitlement {}",
+                    outcome.tenant,
+                    outcome.granted.value(),
+                    entitled
+                );
+            }
+            // Each tenant's selection is exactly the Aggregator under its
+            // own grant.
+            let aggregator = BatchStrat::new(layer.config.objective, layer.config.aggregation);
+            let matrix = layer
+                .engine
+                .workforce_matrix(&light_a, &catalog, &models, aggregator.eligibility)
+                .unwrap();
+            let requirements = matrix.aggregate(layer.config.k, layer.config.aggregation);
+            let expected = aggregator.select(&light_a, &requirements, outcomes[1].granted);
+            assert_eq!(outcomes[1].batch, expected);
+        }
+        // Arity mismatches fail typed.
+        assert!(matches!(
+            StratRec::default().process_tenant_batches(
+                &[&heavy],
+                &catalog,
+                &models,
+                &availability,
+                &policy
+            ),
+            Err(StratRecError::InvalidFairnessPolicy(_))
+        ));
     }
 }

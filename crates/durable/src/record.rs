@@ -456,6 +456,10 @@ fn encode_error(writer: &mut ByteWriter, error: &StratRecError) {
             writer.u64(*epoch);
             writer.str(detail);
         }
+        StratRecError::InvalidFairnessPolicy(message) => {
+            writer.u8(10);
+            writer.str(message);
+        }
     }
 }
 
@@ -490,6 +494,7 @@ fn decode_error(reader: &mut ByteReader<'_>) -> Result<StratRecError, DecodeErro
             epoch: reader.u64()?,
             detail: reader.str()?,
         },
+        10 => StratRecError::InvalidFairnessPolicy(reader.str()?),
         _ => return Err(invalid_tag(reader)),
     })
 }

@@ -24,11 +24,11 @@
 
 use proptest::prelude::*;
 use stratrec::core::adpar::{AdparBruteForce, AdparExact, AdparProblem, AdparSolver, SolveScratch};
-use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec::core::catalog::{RebuildPolicy, ShardPlan, StrategyCatalog};
 use stratrec::core::model::{DeploymentParameters, DeploymentRequest, Strategy, TaskType};
 use stratrec::core::modeling::{ModelLibrary, StrategyModel};
 use stratrec::core::workforce::{
-    AggregationCache, AggregationMode, EligibilityRule, WorkforceMatrix,
+    AggregationCache, AggregationMode, EligibilityRule, ShardedAggregationCache, WorkforceMatrix,
 };
 use stratrec::geometry::Axis;
 
@@ -311,6 +311,124 @@ proptest! {
             // current.
             let delta = catalog.take_delta(&state.subscription).unwrap();
             prop_assert!(delta.is_empty(), "merge/rebuild must not emit churn");
+        }
+    }
+
+    /// Sharded-aggregation churn parity: per-shard candidate caches
+    /// (`ShardedAggregationCache`, repaired after **every** step) must stay
+    /// bit-identical to the flat `aggregate` over the delta-maintained
+    /// matrix, for shard counts {1, 2, 3, 8} × both `EligibilityRule`s ×
+    /// both aggregation modes, across random insert / retire / compact
+    /// interleavings — the shard plans following every compaction through
+    /// the drained deltas.
+    #[test]
+    fn sharded_aggregation_parity_under_churn(
+        initial in proptest::collection::vec(
+            (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0), 0..20),
+        ops in proptest::collection::vec(
+            (0.0_f64..1.0, (0.0_f64..1.0, 0.0_f64..1.0, 0.0_f64..1.0)), 1..40),
+    ) {
+        const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+        const RULES: [EligibilityRule; 2] = [
+            EligibilityRule::StrategyParameters,
+            EligibilityRule::ModelOnly,
+        ];
+        const MODES: [AggregationMode; 2] = [AggregationMode::Sum, AggregationMode::Max];
+        let seed: Vec<Strategy> = initial
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, c, l))| {
+                Strategy::from_params(i as u64, DeploymentParameters::clamped(q, c, l))
+            })
+            .collect();
+        let mut models =
+            ModelLibrary::from_pairs(seed.iter().map(|s| (s.id, model_for(s.id.0))));
+        let requests = standing_requests();
+        let mut catalog =
+            StrategyCatalog::with_policy(seed.clone(), RebuildPolicy::threshold(4));
+        let mut next_id = seed.len() as u64;
+
+        struct RuleState {
+            rule: EligibilityRule,
+            subscription: stratrec::core::catalog::DeltaSubscription,
+            matrix: WorkforceMatrix,
+            /// One cache per (shard count, mode) pair, flattened.
+            caches: Vec<ShardedAggregationCache>,
+        }
+        let mut states: Vec<RuleState> = Vec::new();
+        for rule in RULES {
+            let matrix =
+                WorkforceMatrix::compute_with_catalog(&requests, &catalog, &models, rule)
+                    .expect("every replayed strategy has a model");
+            let caches = SHARD_COUNTS
+                .iter()
+                .flat_map(|&shards| {
+                    MODES.map(|mode| {
+                        let plan = ShardPlan::for_catalog(shards, &catalog);
+                        let mut cache = ShardedAggregationCache::new(MAINTAINED_K, mode, plan);
+                        cache.prime(&matrix);
+                        cache
+                    })
+                })
+                .collect();
+            states.push(RuleState {
+                rule,
+                subscription: catalog.subscribe_delta(),
+                matrix,
+                caches,
+            });
+        }
+        let mut model_buf = Vec::new();
+
+        for &(selector, (a, b, c)) in &ops {
+            // ~45 % insert, ~30 % retire, ~10 % compact, ~15 % no-op step
+            // (an empty delta window must also repair cleanly).
+            if selector < 0.45 {
+                let strategy =
+                    Strategy::from_params(next_id, DeploymentParameters::clamped(a, b, c));
+                models.insert(strategy.id, model_for(next_id));
+                next_id += 1;
+                catalog.insert(strategy);
+            } else if selector < 0.75 && !catalog.is_empty() {
+                let live = catalog.live_indices();
+                let victim = live[((a * live.len() as f64) as usize).min(live.len() - 1)];
+                prop_assert!(catalog.retire(victim));
+            } else if selector < 0.85 {
+                catalog.compact();
+            }
+
+            for state in &mut states {
+                let delta = catalog.take_delta(&state.subscription).unwrap();
+                state
+                    .matrix
+                    .apply_delta_with_scratch(
+                        &delta,
+                        &requests,
+                        &catalog,
+                        &models,
+                        state.rule,
+                        &mut model_buf,
+                    )
+                    .expect("replayed deltas are current and fully modeled");
+                for cache in &mut state.caches {
+                    let repaired = cache.repair(&state.matrix, &delta);
+                    prop_assert!(repaired <= state.matrix.rows());
+                    prop_assert_eq!(cache.plan().cols(), state.matrix.cols());
+                }
+                for mode in MODES {
+                    let flat = state.matrix.aggregate(MAINTAINED_K, mode);
+                    for cache in state.caches.iter().filter(|cache| cache.mode() == mode) {
+                        prop_assert_eq!(
+                            cache.requirements(),
+                            &flat[..],
+                            "sharded cache diverged: rule {:?}, {} shards, {:?}",
+                            state.rule,
+                            cache.shard_count(),
+                            mode
+                        );
+                    }
+                }
+            }
         }
     }
 

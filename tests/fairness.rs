@@ -1,0 +1,192 @@
+//! Fairness regression suite: a tenant flooding the queue with 10× every
+//! other tenant's volume must never push a light tenant's granted budget
+//! below its fairness floor — not at steady state, and not across catalog
+//! churn (inserts, retires, a mid-stream compaction). Runs on both the flat
+//! and the sharded aggregation path, which must also grant bit-identically.
+
+use stratrec::core::availability::AvailabilityPdf;
+use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec::core::model::{DeploymentParameters, Strategy};
+use stratrec::core::modeling::{ModelLibrary, StrategyModel};
+use stratrec::core::stratrec::{StratRec, StratRecConfig, TenantOutcome};
+use stratrec::workload::tenants::TenantMixScenario;
+
+const TENANTS: usize = 4;
+const HEAVY: usize = 0;
+const FLOOR: f64 = 0.2;
+
+/// Deterministic per-strategy model (same scheme as the churn replay) so
+/// the tenant matrices carry a real mix of finite and infinite cells.
+fn model_for(id: u64) -> StrategyModel {
+    let alpha = 0.4 + ((id * 31) % 47) as f64 / 100.0;
+    StrategyModel::uniform(alpha, 1.0 - alpha)
+}
+
+/// A varied strategy spread over the parameter cube, biased loose enough
+/// that most requests of the `[0.625, 1]` workload find eligible columns.
+fn strategy_for(id: u64) -> Strategy {
+    let q = 0.30 + ((id * 13) % 60) as f64 / 100.0;
+    let c = 0.45 + ((id * 29) % 55) as f64 / 100.0;
+    let l = 0.40 + ((id * 7) % 60) as f64 / 100.0;
+    Strategy::from_params(id, DeploymentParameters::clamped(q, c, l))
+}
+
+/// The Zipf-flat mix with one 10× flooding tenant and 0.2 floors.
+fn flooded_mix() -> stratrec::workload::TenantMix {
+    TenantMixScenario {
+        tenants: TENANTS,
+        zipf_s: 0.0,
+        total_requests: 160,
+        heavy_tenant: Some(HEAVY),
+        heavy_factor: 10.0,
+        floor: FLOOR,
+        seed: 7,
+    }
+    .materialize()
+}
+
+/// Every light tenant's grant must reach `min(demand, floor · budget)` —
+/// the guarantee [`FairnessPolicy::split`] makes — and the grants must
+/// never oversubscribe the budget.
+fn assert_floors_hold(outcomes: &[TenantOutcome], budget: f64, context: &str) {
+    assert_eq!(outcomes.len(), TENANTS, "{context}: one outcome per tenant");
+    let total: f64 = outcomes.iter().map(|o| o.granted.value()).sum();
+    assert!(
+        total <= budget + 1e-9,
+        "{context}: grants {total} oversubscribe budget {budget}"
+    );
+    for outcome in outcomes {
+        let floor_grant = (FLOOR * budget).min(outcome.demand);
+        assert!(
+            outcome.granted.value() >= floor_grant - 1e-12,
+            "{context}: tenant {} granted {} below its floor entitlement {floor_grant} \
+             (demand {})",
+            outcome.tenant,
+            outcome.granted.value(),
+            outcome.demand,
+        );
+    }
+}
+
+#[test]
+fn flooding_tenant_never_starves_a_floor_across_churn_and_compaction() {
+    let mix = flooded_mix();
+    let batches: Vec<&[_]> = mix.batches.iter().map(Vec::as_slice).collect();
+    // The flood must actually be a flood for the regression to bite.
+    for (tenant, batch) in mix.batches.iter().enumerate() {
+        if tenant != HEAVY {
+            assert!(
+                mix.batches[HEAVY].len() > 3 * batch.len(),
+                "heavy tenant volume {} vs tenant {tenant} volume {}",
+                mix.batches[HEAVY].len(),
+                batch.len()
+            );
+        }
+    }
+
+    let availability = AvailabilityPdf::certain(0.85);
+    let budget = availability.expectation().value();
+    let flat = StratRec::new(StratRecConfig::default());
+    let sharded = StratRec::new(StratRecConfig::default()).with_shards(4);
+
+    let mut catalog = StrategyCatalog::with_policy(
+        (0..24).map(strategy_for).collect::<Vec<_>>(),
+        RebuildPolicy::threshold(4),
+    );
+    let mut models =
+        ModelLibrary::from_pairs((0..24).map(|id| (strategy_for(id).id, model_for(id))));
+    let mut next_id = 24_u64;
+
+    for epoch in 0..6 {
+        // Churn between epochs: two inserts, one retire, and a compaction
+        // mid-stream so the fairness guarantee is also exercised across a
+        // full slot renumbering.
+        for _ in 0..2 {
+            let strategy = strategy_for(next_id);
+            models.insert(strategy.id, model_for(next_id));
+            next_id += 1;
+            catalog.insert(strategy);
+        }
+        let live = catalog.live_indices();
+        let victim = live[(epoch * 5) % live.len()];
+        assert!(catalog.retire(victim));
+        if epoch == 3 {
+            catalog.compact();
+        }
+
+        let flat_outcomes = flat
+            .process_tenant_batches(&batches, &catalog, &models, &availability, &mix.policy)
+            .expect("policy arity matches the mix");
+        let sharded_outcomes = sharded
+            .process_tenant_batches(&batches, &catalog, &models, &availability, &mix.policy)
+            .expect("policy arity matches the mix");
+
+        let context = format!("epoch {epoch}");
+        assert_floors_hold(&flat_outcomes, budget, &context);
+        assert_floors_hold(&sharded_outcomes, budget, &context);
+        assert_eq!(
+            flat_outcomes, sharded_outcomes,
+            "{context}: sharded grants must be bit-identical to flat"
+        );
+
+        // The flood is real: the heavy tenant demands (far) more than any
+        // light tenant, yet the split confines the damage to the residual.
+        let heavy = &flat_outcomes[HEAVY];
+        for outcome in &flat_outcomes {
+            if outcome.tenant != HEAVY {
+                assert!(
+                    heavy.demand > outcome.demand,
+                    "{context}: heavy demand {} should dwarf tenant {}'s {}",
+                    heavy.demand,
+                    outcome.tenant,
+                    outcome.demand
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn removing_the_flood_never_lowers_a_light_tenants_grant() {
+    // The same mix with and without the 10× multiplier on tenant 0: with
+    // floors in place, adding the flood can shrink a light tenant's
+    // residual share but never its floor entitlement.
+    let flooded = flooded_mix();
+    let calm = TenantMixScenario {
+        tenants: TENANTS,
+        zipf_s: 0.0,
+        total_requests: 160,
+        heavy_tenant: None,
+        heavy_factor: 1.0,
+        floor: FLOOR,
+        seed: 7,
+    }
+    .materialize();
+
+    let availability = AvailabilityPdf::certain(0.85);
+    let budget = availability.expectation().value();
+    let layer = StratRec::new(StratRecConfig::default()).with_shards(2);
+    let catalog = StrategyCatalog::new((0..24).map(strategy_for).collect::<Vec<_>>());
+    let models = ModelLibrary::from_pairs((0..24).map(|id| (strategy_for(id).id, model_for(id))));
+
+    for mix in [&flooded, &calm] {
+        let batches: Vec<&[_]> = mix.batches.iter().map(Vec::as_slice).collect();
+        let outcomes = layer
+            .process_tenant_batches(&batches, &catalog, &models, &availability, &mix.policy)
+            .expect("policy arity matches the mix");
+        assert_floors_hold(&outcomes, budget, "steady state");
+    }
+
+    // Mismatched arity is a policy error, not a panic.
+    let batches: Vec<&[_]> = flooded.batches[..TENANTS - 1]
+        .iter()
+        .map(Vec::as_slice)
+        .collect();
+    let err = layer
+        .process_tenant_batches(&batches, &catalog, &models, &availability, &flooded.policy)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        stratrec::core::error::StratRecError::InvalidFairnessPolicy(_)
+    ));
+}
