@@ -32,7 +32,9 @@ use serde::{Deserialize, Serialize};
 
 use stratrec_optim::topk::{self, TopKScratch};
 
-use crate::adpar::{AdparExact, AdparProblem, AdparSolution, SolveScratch};
+use crate::adpar::{
+    AdparBaseline2, AdparExact, AdparProblem, AdparSolution, AdparSolver, SolveScratch,
+};
 use crate::catalog::{CatalogDelta, ShardPlan, StrategyCatalog};
 use crate::error::StratRecError;
 use crate::model::DeploymentRequest;
@@ -499,6 +501,59 @@ impl BatchEngine {
             .map(|slot| slot.expect("every chunk slot is filled by its thread"))
             .collect()
     }
+
+    /// The **degraded** counterpart of [`Self::solve_adpar_batch`]: the same
+    /// deterministic fan-out, but every problem is answered by the cheap
+    /// one-axis-at-a-time [`AdparBaseline2`] instead of the exact solver.
+    /// Each solution is bit-identical to a standalone
+    /// `AdparBaseline2.solve(&AdparProblem::with_catalog(..))` over the same
+    /// catalog state — this is what a streaming front-end serves while its
+    /// backpressure controller holds the pipeline in
+    /// [`ServiceQuality::Degraded`](crate::stratrec::ServiceQuality).
+    #[must_use]
+    pub fn solve_adpar_batch_degraded(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        request_indices: &[usize],
+        k: usize,
+    ) -> Vec<Result<AdparSolution, StratRecError>> {
+        let solve_chunk =
+            |indices: &[usize], out: &mut [Option<Result<AdparSolution, StratRecError>>]| {
+                let mut relaxations: Vec<stratrec_geometry::Point3> = Vec::new();
+                for (slot, &idx) in out.iter_mut().zip(indices) {
+                    let problem = AdparProblem::with_catalog_reusing(
+                        &requests[idx],
+                        catalog,
+                        k,
+                        std::mem::take(&mut relaxations),
+                    );
+                    *slot = Some(AdparBaseline2.solve(&problem));
+                    relaxations = problem.into_relaxations();
+                }
+            };
+
+        let mut results: Vec<Option<Result<AdparSolution, StratRecError>>> =
+            vec![None; request_indices.len()];
+        let threads = self.effective_threads(request_indices.len());
+        if threads < 2 {
+            solve_chunk(request_indices, &mut results);
+        } else {
+            let chunk_size = request_indices.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (indices, slots) in request_indices
+                    .chunks(chunk_size)
+                    .zip(results.chunks_mut(chunk_size))
+                {
+                    scope.spawn(move || solve_chunk(indices, slots));
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every chunk slot is filled by its thread"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -642,6 +697,32 @@ mod tests {
                 assert_eq!(result, &expected, "{threads} threads, request {idx}");
             }
         }
+    }
+
+    #[test]
+    fn degraded_adpar_batch_matches_standalone_baseline2_in_order() {
+        let (requests, strategies, _) = setup();
+        let catalog = StrategyCatalog::from_slice(&strategies);
+        let indices = [2, 0, 1, 0];
+        for threads in [0, 1, 2, 3] {
+            let batch = BatchEngine::with_threads(threads)
+                .solve_adpar_batch_degraded(&requests, &catalog, &indices, 3);
+            assert_eq!(batch.len(), indices.len(), "{threads} threads");
+            for (&idx, result) in indices.iter().zip(&batch) {
+                let expected =
+                    AdparBaseline2.solve(&AdparProblem::with_catalog(&requests[idx], &catalog, 3));
+                assert_eq!(result, &expected, "{threads} threads, request {idx}");
+            }
+        }
+        // Per-problem errors surface the same way as on the exact path.
+        let failing =
+            BatchEngine::new().solve_adpar_batch_degraded(&requests, &catalog, &[0, 1], 9);
+        assert!(failing
+            .iter()
+            .all(|r| matches!(r, Err(StratRecError::NotEnoughStrategies { .. }))));
+        assert!(BatchEngine::new()
+            .solve_adpar_batch_degraded(&requests, &catalog, &[], 3)
+            .is_empty());
     }
 
     #[test]

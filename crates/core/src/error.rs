@@ -91,6 +91,31 @@ pub enum StratRecError {
         /// What diverged.
         detail: String,
     },
+    /// The streaming front-end refused to admit a request: the service queue
+    /// already holds `queue_depth` pending requests against a capacity of
+    /// `capacity`, so enqueueing more would grow a backlog the backpressure
+    /// controller can only shed later anyway. The request was never queued;
+    /// resubmit after backing off. Always delivered as a typed response —
+    /// the front-end never drops a request silently.
+    AdmissionRejected {
+        /// Pending requests in the service queue at rejection time.
+        queue_depth: usize,
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// A request's latency budget cannot be met: the time remaining before
+    /// its deadline is smaller than the service time the front-end currently
+    /// estimates (or the deadline has already passed while the request
+    /// queued), so it was shed instead of being served late. Always
+    /// delivered as a typed response — never a silent drop.
+    DeadlineExceeded {
+        /// Remaining latency budget when the shed decision was made, in
+        /// milliseconds (`0` when the deadline had already passed).
+        remaining_ms: u64,
+        /// The service time the front-end estimated it would need, in
+        /// milliseconds.
+        estimated_ms: u64,
+    },
 }
 
 impl std::fmt::Display for StratRecError {
@@ -135,6 +160,23 @@ impl std::fmt::Display for StratRecError {
             Self::RecoveryMismatch { epoch, detail } => write!(
                 f,
                 "log replay diverged from the recorded state at epoch {epoch}: {detail}"
+            ),
+            Self::AdmissionRejected {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "admission rejected: the service queue holds {queue_depth} requests \
+                 against a capacity of {capacity}; back off and resubmit"
+            ),
+            Self::DeadlineExceeded {
+                remaining_ms,
+                estimated_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {remaining_ms} ms of budget remain but the \
+                 estimated service time is {estimated_ms} ms; the request was shed \
+                 rather than served late"
             ),
         }
     }
@@ -203,6 +245,34 @@ mod tests {
                 },
                 "epoch 12",
             ),
+            (
+                StratRecError::AdmissionRejected {
+                    queue_depth: 128,
+                    capacity: 64,
+                },
+                "capacity of 64",
+            ),
+            (
+                StratRecError::AdmissionRejected {
+                    queue_depth: 128,
+                    capacity: 64,
+                },
+                "128 requests",
+            ),
+            (
+                StratRecError::DeadlineExceeded {
+                    remaining_ms: 3,
+                    estimated_ms: 40,
+                },
+                "40 ms",
+            ),
+            (
+                StratRecError::DeadlineExceeded {
+                    remaining_ms: 3,
+                    estimated_ms: 40,
+                },
+                "shed",
+            ),
         ];
         for (err, needle) in cases {
             assert!(
@@ -227,6 +297,8 @@ mod tests {
             StratRecError::StaleCatalog { .. } => "StaleCatalog",
             StratRecError::WalCorrupt { .. } => "WalCorrupt",
             StratRecError::RecoveryMismatch { .. } => "RecoveryMismatch",
+            StratRecError::AdmissionRejected { .. } => "AdmissionRejected",
+            StratRecError::DeadlineExceeded { .. } => "DeadlineExceeded",
         }
     }
 
@@ -259,11 +331,19 @@ mod tests {
                 epoch: 0,
                 detail: String::new(),
             },
+            StratRecError::AdmissionRejected {
+                queue_depth: 0,
+                capacity: 0,
+            },
+            StratRecError::DeadlineExceeded {
+                remaining_ms: 0,
+                estimated_ms: 0,
+            },
         ]
         .iter()
         .map(variant_tag)
         .collect();
-        assert_eq!(audited.len(), 11, "one sample per variant, no duplicates");
+        assert_eq!(audited.len(), 13, "one sample per variant, no duplicates");
     }
 
     #[test]
@@ -277,6 +357,21 @@ mod tests {
         });
         assert!(err.source().is_none());
         assert!(err.to_string().contains("offset 9"));
+        // The streaming shed responses are leaves too: callers chaining them
+        // into service-level errors own the chain, the variants themselves
+        // terminate it, and their Display text survives the indirection.
+        let shed: Box<dyn std::error::Error> = Box::new(StratRecError::AdmissionRejected {
+            queue_depth: 12,
+            capacity: 8,
+        });
+        assert!(shed.source().is_none());
+        assert!(shed.to_string().contains("capacity of 8"));
+        let late: Box<dyn std::error::Error> = Box::new(StratRecError::DeadlineExceeded {
+            remaining_ms: 1,
+            estimated_ms: 17,
+        });
+        assert!(late.source().is_none());
+        assert!(late.to_string().contains("17 ms"));
     }
 
     #[test]

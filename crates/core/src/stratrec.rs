@@ -55,6 +55,23 @@ impl Default for StratRecConfig {
     }
 }
 
+/// The quality level a batch was served at. A streaming front-end under
+/// backpressure can **degrade** the expensive exact ADPaR stage to the cheap
+/// one-axis-at-a-time `Baseline2` solver; the Aggregator stage is identical
+/// at both levels, so a degraded report differs from the full one only in
+/// its [`AlternativeRecommendation`]s — and those are bit-identical to what
+/// [`crate::adpar::AdparBaseline2`] computes standalone over the same
+/// catalog state. Responses must carry this tag so callers can tell a
+/// degraded answer from a full one; degradation is never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ServiceQuality {
+    /// The normal pipeline: exact ADPaR for every unsatisfied request.
+    #[default]
+    Full,
+    /// The overload pipeline: `Baseline2` alternatives, same Aggregator.
+    Degraded,
+}
+
 /// The alternative parameters recommended to one unsatisfied request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlternativeRecommendation {
@@ -206,6 +223,36 @@ impl StratRec {
         models: &ModelLibrary,
         availability: &AvailabilityPdf,
     ) -> Result<StratRecReport, StratRecError> {
+        self.process_batch_with_catalog_at(
+            requests,
+            catalog,
+            models,
+            availability,
+            ServiceQuality::Full,
+        )
+    }
+
+    /// [`Self::process_batch_with_catalog`] at an explicit
+    /// [`ServiceQuality`]: `Full` is the ordinary pipeline, `Degraded`
+    /// answers every unsatisfied request with the cheap `Baseline2` solver
+    /// instead of exact ADPaR. The Aggregator stage is identical at both
+    /// levels, and the degraded alternatives are bit-identical to standalone
+    /// [`crate::adpar::AdparBaseline2`] solves over the same catalog — this
+    /// is the reference a streaming front-end's degraded answers are pinned
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StratRecError::MissingModel`] when a catalog strategy has
+    /// no fitted model in `models`.
+    pub fn process_batch_with_catalog_at(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+        quality: ServiceQuality,
+    ) -> Result<StratRecReport, StratRecError> {
         let expected = availability.expectation();
         let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
         let matrix =
@@ -213,10 +260,40 @@ impl StratRec {
                 .workforce_matrix(requests, catalog, models, aggregator.eligibility)?;
         let requirements = self.aggregate_matrix(&matrix);
         let batch = aggregator.select(requests, &requirements, expected);
-        let solutions =
-            self.engine
-                .solve_adpar_batch(requests, catalog, &batch.unsatisfied, self.config.k);
-        let alternatives = batch
+        let alternatives = self.alternatives_at(requests, catalog, &batch, quality);
+        Ok(StratRecReport {
+            availability: expected,
+            batch,
+            alternatives,
+        })
+    }
+
+    /// The ADPaR fan-out at the given quality level: exact solves at
+    /// [`ServiceQuality::Full`], `Baseline2` solves at
+    /// [`ServiceQuality::Degraded`]. Everything upstream (matrix,
+    /// aggregation, selection) is quality-independent, which is what lets a
+    /// serving session flip quality between calls without touching its
+    /// cached state.
+    fn alternatives_at(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &StrategyCatalog,
+        batch: &BatchOutcome,
+        quality: ServiceQuality,
+    ) -> Vec<AlternativeRecommendation> {
+        let solutions = match quality {
+            ServiceQuality::Full => {
+                self.engine
+                    .solve_adpar_batch(requests, catalog, &batch.unsatisfied, self.config.k)
+            }
+            ServiceQuality::Degraded => self.engine.solve_adpar_batch_degraded(
+                requests,
+                catalog,
+                &batch.unsatisfied,
+                self.config.k,
+            ),
+        };
+        batch
             .unsatisfied
             .iter()
             .zip(solutions)
@@ -224,12 +301,7 @@ impl StratRec {
                 request_index,
                 solution,
             })
-            .collect();
-        Ok(StratRecReport {
-            availability: expected,
-            batch,
-            alternatives,
-        })
+            .collect()
     }
 
     /// Processes the same **standing** batch of deployment requests across
@@ -272,6 +344,35 @@ impl StratRec {
         availability: &AvailabilityPdf,
         session: &mut StratRecSession,
     ) -> Result<StratRecReport, StratRecError> {
+        self.process_batch_with_session_at(
+            requests,
+            catalog,
+            models,
+            availability,
+            session,
+            ServiceQuality::Full,
+        )
+    }
+
+    /// [`Self::process_batch_with_session`] at an explicit
+    /// [`ServiceQuality`]. The session's matrix, aggregation cache and delta
+    /// subscription are quality-independent — only the ADPaR fan-out
+    /// differs — so a front-end flipping between `Full` and `Degraded`
+    /// between calls reuses the standing incremental state as if the
+    /// quality never changed: no re-prime, no extra subscriptions.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::process_batch_with_session`].
+    pub fn process_batch_with_session_at(
+        &self,
+        requests: &[DeploymentRequest],
+        catalog: &mut StrategyCatalog,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+        session: &mut StratRecSession,
+        quality: ServiceQuality,
+    ) -> Result<StratRecReport, StratRecError> {
         let expected = availability.expectation();
         let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
         if let Err(error) = self.sync_session(requests, catalog, models, &aggregator, session) {
@@ -283,18 +384,7 @@ impl StratRec {
             .as_ref()
             .expect("sync_session leaves the session primed");
         let batch = aggregator.select(requests, cache.requirements(), expected);
-        let solutions =
-            self.engine
-                .solve_adpar_batch(requests, catalog, &batch.unsatisfied, self.config.k);
-        let alternatives = batch
-            .unsatisfied
-            .iter()
-            .zip(solutions)
-            .map(|(&request_index, solution)| AlternativeRecommendation {
-                request_index,
-                solution,
-            })
-            .collect();
+        let alternatives = self.alternatives_at(requests, catalog, &batch, quality);
         Ok(StratRecReport {
             availability: expected,
             batch,
@@ -357,7 +447,24 @@ impl StratRec {
                 return Ok(());
             }
         }
-        session.detach(catalog);
+        // A live subscription survives the re-prime: drain and discard its
+        // pending window (the full recompute below supersedes it, and the
+        // drain re-bases the tracker at the current epoch — the caller
+        // holds the catalog exclusively, so nothing can slip in between).
+        // A shape or config change, or a shed/degraded batch that never
+        // touched the cache, therefore publishes **zero** extra
+        // subscriptions; only a stale handle (evicted, or moved across
+        // catalogs) is released and replaced.
+        let keep_subscription = session
+            .subscription
+            .as_ref()
+            .is_some_and(|subscription| catalog.take_delta(subscription).is_ok());
+        if !keep_subscription {
+            if let Some(subscription) = session.subscription.take() {
+                catalog.unsubscribe_delta(subscription);
+            }
+        }
+        session.cache = None;
         // Refill into the stale matrix when the session still holds one:
         // a full recompute either way, but the tens-of-megabytes cell
         // allocation survives rebuild triggers.
@@ -375,9 +482,11 @@ impl StratRec {
         )?;
         let cache = self.primed_cache(&matrix);
         session.last_repaired_rows = matrix.rows();
-        // Subscribe *after* the compute: both observe the same epoch
-        // (the caller holds the catalog exclusively throughout).
-        session.subscription = Some(catalog.subscribe_delta());
+        if !keep_subscription {
+            // Subscribe *after* the compute: both observe the same epoch
+            // (the caller holds the catalog exclusively throughout).
+            session.subscription = Some(catalog.subscribe_delta());
+        }
         session.matrix = Some(matrix);
         session.cache = Some(cache);
         Ok(())
@@ -437,6 +546,40 @@ impl StratRec {
         availability: &AvailabilityPdf,
         session: &mut SnapshotSession,
     ) -> Result<(StratRecReport, Arc<EpochSnapshot>), StratRecError> {
+        self.process_batch_with_reader_at(
+            requests,
+            reader,
+            models,
+            availability,
+            session,
+            ServiceQuality::Full,
+        )
+    }
+
+    /// [`Self::process_batch_with_reader`] at an explicit
+    /// [`ServiceQuality`] — the entry point of a streaming front-end whose
+    /// backpressure controller degrades under load. The session's matrix,
+    /// aggregation cache and the reader's subscription are
+    /// quality-independent; only the ADPaR fan-out switches solvers, so a
+    /// degrade → recover cycle reuses the standing incremental state and
+    /// publishes zero extra subscriptions. A `Degraded` report's
+    /// alternatives are bit-identical to
+    /// [`Self::process_batch_with_catalog_at`] at `Degraded` over the
+    /// returned snapshot's catalog (which is in turn standalone
+    /// `Baseline2`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::process_batch_with_reader`].
+    pub fn process_batch_with_reader_at(
+        &self,
+        requests: &[DeploymentRequest],
+        reader: &mut SnapshotReader,
+        models: &ModelLibrary,
+        availability: &AvailabilityPdf,
+        session: &mut SnapshotSession,
+        quality: ServiceQuality,
+    ) -> Result<(StratRecReport, Arc<EpochSnapshot>), StratRecError> {
         let expected = availability.expectation();
         let aggregator = BatchStrat::new(self.config.objective, self.config.aggregation);
         let snapshot =
@@ -452,21 +595,7 @@ impl StratRec {
             .as_ref()
             .expect("sync_snapshot_session leaves the session primed");
         let batch = aggregator.select(requests, cache.requirements(), expected);
-        let solutions = self.engine.solve_adpar_batch(
-            requests,
-            snapshot.catalog(),
-            &batch.unsatisfied,
-            self.config.k,
-        );
-        let alternatives = batch
-            .unsatisfied
-            .iter()
-            .zip(solutions)
-            .map(|(&request_index, solution)| AlternativeRecommendation {
-                request_index,
-                solution,
-            })
-            .collect();
+        let alternatives = self.alternatives_at(requests, snapshot.catalog(), &batch, quality);
         let report = StratRecReport {
             availability: expected,
             batch,
@@ -477,8 +606,10 @@ impl StratRec {
 
     /// Brings a snapshot-serving session to the latest published epoch: the
     /// delta path when the session is primed and the reader's subscription
-    /// is live, a re-pin + full recompute otherwise (first call, shape or
-    /// config change, or the reader was evicted for lapsing).
+    /// is live, a full recompute otherwise (first call, shape or config
+    /// change, or the reader was evicted for lapsing). The full recompute
+    /// keeps a live subscription — it only re-subscribes after an eviction
+    /// — so re-primes never churn the catalog's subscriber table.
     fn sync_snapshot_session(
         &self,
         requests: &[DeploymentRequest],
@@ -527,9 +658,16 @@ impl StratRec {
                 return Ok(snapshot);
             }
         }
-        // Full path: re-subscribe and pin the same epoch atomically, then
-        // compute everything against that snapshot.
-        let snapshot = reader.re_pin();
+        // Full path: keep the reader's standing subscription when it is
+        // still live — migrate drains (and discards) the pending window and
+        // pins the latest snapshot, so a shape or config re-prime, or a
+        // shed/degraded batch that never touched the cache, publishes
+        // **zero** extra subscriptions. Only an evicted reader falls back
+        // to `re_pin`'s unsubscribe + re-subscribe.
+        let snapshot = match reader.migrate() {
+            Ok(_) => Arc::clone(reader.pinned()),
+            Err(_) => reader.re_pin(),
+        };
         session.cache = None;
         let mut matrix = session
             .matrix
@@ -1340,6 +1478,180 @@ mod tests {
             .unwrap();
         assert_eq!(report, full);
         assert_eq!(catalog.delta_subscriber_count(), 1);
+    }
+
+    #[test]
+    fn degraded_reports_swap_only_the_adpar_stage() {
+        use crate::adpar::{AdparBaseline2, AdparProblem, AdparSolver};
+        let (catalog, models, requests, _) = session_fixture();
+        // Zero availability pushes every request to ADPaR, so the degraded
+        // fan-out has maximal surface to diverge on.
+        let availability = pdf(0.0);
+        let layer = StratRec::default();
+        let full = layer
+            .process_batch_with_catalog(&requests, &catalog, &models, &availability)
+            .unwrap();
+        let degraded = layer
+            .process_batch_with_catalog_at(
+                &requests,
+                &catalog,
+                &models,
+                &availability,
+                ServiceQuality::Degraded,
+            )
+            .unwrap();
+        // The Aggregator stage is quality-independent...
+        assert_eq!(degraded.batch, full.batch);
+        assert_eq!(degraded.availability, full.availability);
+        assert_eq!(degraded.alternatives.len(), full.alternatives.len());
+        assert!(!degraded.alternatives.is_empty());
+        // ...and every degraded alternative is bit-identical to a
+        // standalone Baseline2 solve over the same catalog.
+        for alternative in &degraded.alternatives {
+            let expected = AdparBaseline2.solve(&AdparProblem::with_catalog(
+                &requests[alternative.request_index],
+                &catalog,
+                layer.config.k,
+            ));
+            assert_eq!(alternative.solution, expected);
+        }
+        // Full at the explicit quality equals the implicit-quality method.
+        let explicit = layer
+            .process_batch_with_catalog_at(
+                &requests,
+                &catalog,
+                &models,
+                &availability,
+                ServiceQuality::Full,
+            )
+            .unwrap();
+        assert_eq!(explicit, full);
+    }
+
+    /// The degrade → recover regression of the streaming front-end: flipping
+    /// [`ServiceQuality`] between reader-served calls must reuse the
+    /// standing matrix, cache and subscription — zero extra subscriptions
+    /// published ([`crate::catalog::CatalogStats::subscribers`] flat) and
+    /// zero rows repaired when no churn happened in between.
+    #[test]
+    fn degrade_recover_cycles_reuse_the_standing_subscription() {
+        let (catalog, mut models, requests, availability) = session_fixture();
+        let concurrent = crate::catalog::ConcurrentCatalog::new(catalog);
+        let layer = StratRec::default();
+        let mut reader = concurrent.reader();
+        let mut session = SnapshotSession::new();
+        layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        assert_eq!(concurrent.stats().subscribers, 1);
+        let mut next_id = 18_u64;
+        for cycle in 0..3 {
+            if cycle > 0 {
+                // Churn between cycles: the degraded call absorbs it on the
+                // ordinary delta path.
+                let strategy = fixture_strategy(next_id);
+                models.insert(strategy.id, fixture_model(next_id));
+                next_id += 1;
+                concurrent.update(|catalog| {
+                    catalog.insert(strategy.clone());
+                });
+            }
+            let (degraded, snapshot) = layer
+                .process_batch_with_reader_at(
+                    &requests,
+                    &mut reader,
+                    &models,
+                    &availability,
+                    &mut session,
+                    ServiceQuality::Degraded,
+                )
+                .unwrap();
+            let reference = layer
+                .process_batch_with_catalog_at(
+                    &requests,
+                    snapshot.catalog(),
+                    &models,
+                    &availability,
+                    ServiceQuality::Degraded,
+                )
+                .unwrap();
+            assert_eq!(degraded, reference, "cycle {cycle}");
+            if cycle == 0 {
+                assert_eq!(
+                    session.last_repaired_rows(),
+                    0,
+                    "a no-churn degrade touches nothing"
+                );
+            }
+            assert_eq!(
+                concurrent.stats().subscribers,
+                1,
+                "cycle {cycle}: degrade published no extra subscription"
+            );
+            let (recovered, snapshot) = layer
+                .process_batch_with_reader_at(
+                    &requests,
+                    &mut reader,
+                    &models,
+                    &availability,
+                    &mut session,
+                    ServiceQuality::Full,
+                )
+                .unwrap();
+            let reference = layer
+                .process_batch_with_catalog(&requests, snapshot.catalog(), &models, &availability)
+                .unwrap();
+            assert_eq!(recovered, reference, "cycle {cycle}");
+            assert_eq!(
+                session.last_repaired_rows(),
+                0,
+                "cycle {cycle}: recovery reused the standing cache"
+            );
+            assert_eq!(
+                concurrent.stats().subscribers,
+                1,
+                "cycle {cycle}: recover published no extra subscription"
+            );
+        }
+        assert_eq!(concurrent.stats().delta_evictions, 0);
+    }
+
+    /// A shape or config re-prime keeps the standing subscription too: the
+    /// full-recompute path migrates the live reader instead of re-pinning
+    /// through an unsubscribe + re-subscribe.
+    #[test]
+    fn shape_and_config_reprimes_keep_the_readers_subscription() {
+        let (catalog, models, requests, availability) = session_fixture();
+        let concurrent = crate::catalog::ConcurrentCatalog::new(catalog);
+        let layer = StratRec::default();
+        let mut reader = concurrent.reader();
+        let mut session = SnapshotSession::new();
+        layer
+            .process_batch_with_reader(&requests, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        let before = concurrent.stats();
+        // Shorter standing batch: full recompute, same subscription.
+        let shorter = &requests[..3];
+        let (report, snapshot) = layer
+            .process_batch_with_reader(shorter, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        assert_eq!(session.last_repaired_rows(), shorter.len(), "re-primed");
+        let reference = layer
+            .process_batch_with_catalog(shorter, snapshot.catalog(), &models, &availability)
+            .unwrap();
+        assert_eq!(report, reference);
+        // A changed k re-primes as well; the subscriber table never moves.
+        let stricter = StratRec::new(StratRecConfig {
+            k: 5,
+            ..StratRecConfig::default()
+        });
+        stricter
+            .process_batch_with_reader(shorter, &mut reader, &models, &availability, &mut session)
+            .unwrap();
+        let after = concurrent.stats();
+        assert_eq!(after.subscribers, before.subscribers);
+        assert_eq!(after.delta_evictions, before.delta_evictions);
+        assert_eq!(after.epoch, before.epoch, "no churn happened");
     }
 
     #[test]

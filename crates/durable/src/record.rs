@@ -460,6 +460,22 @@ fn encode_error(writer: &mut ByteWriter, error: &StratRecError) {
             writer.u8(10);
             writer.str(message);
         }
+        StratRecError::AdmissionRejected {
+            queue_depth,
+            capacity,
+        } => {
+            writer.u8(11);
+            writer.usize(*queue_depth);
+            writer.usize(*capacity);
+        }
+        StratRecError::DeadlineExceeded {
+            remaining_ms,
+            estimated_ms,
+        } => {
+            writer.u8(12);
+            writer.u64(*remaining_ms);
+            writer.u64(*estimated_ms);
+        }
     }
 }
 
@@ -495,6 +511,14 @@ fn decode_error(reader: &mut ByteReader<'_>) -> Result<StratRecError, DecodeErro
             detail: reader.str()?,
         },
         10 => StratRecError::InvalidFairnessPolicy(reader.str()?),
+        11 => StratRecError::AdmissionRejected {
+            queue_depth: reader.usize()?,
+            capacity: reader.usize()?,
+        },
+        12 => StratRecError::DeadlineExceeded {
+            remaining_ms: reader.u64()?,
+            estimated_ms: reader.u64()?,
+        },
         _ => return Err(invalid_tag(reader)),
     })
 }
@@ -716,6 +740,29 @@ mod tests {
         let decoded = WalRecord::decode(&payload).unwrap();
         assert_eq!(decoded, record);
         assert_eq!(decoded.encode(), payload, "re-encoding is byte-identical");
+    }
+
+    /// The streaming tier's shed errors must survive the WAL error codec:
+    /// a provenance log written during an overload window still reenacts.
+    #[test]
+    fn serving_shed_errors_round_trip_through_the_error_codec() {
+        let errors = [
+            StratRecError::AdmissionRejected {
+                queue_depth: 96,
+                capacity: 64,
+            },
+            StratRecError::DeadlineExceeded {
+                remaining_ms: 4,
+                estimated_ms: 12,
+            },
+        ];
+        for error in errors {
+            let mut writer = ByteWriter::new();
+            encode_error(&mut writer, &error);
+            let bytes = writer.into_bytes();
+            let mut reader = ByteReader::new(&bytes);
+            assert_eq!(decode_error(&mut reader).unwrap(), error);
+        }
     }
 
     #[test]

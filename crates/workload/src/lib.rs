@@ -25,11 +25,15 @@
 //!   an optional flooding heavy tenant, paired with the matching
 //!   [`FairnessPolicy`](stratrec_core::fairness::FairnessPolicy) floors
 //!   ([`tenants`]).
+//! * **Open-loop streams** — seeded Poisson arrival schedules with burst
+//!   phases and the same Zipf tenant mix, for driving the streaming
+//!   front-end past saturation ([`openloop`]).
 
 #![forbid(unsafe_code)]
 
 pub mod churn;
 pub mod model_gen;
+pub mod openloop;
 pub mod request_gen;
 pub mod scenario;
 pub mod strategy_gen;
@@ -38,6 +42,7 @@ pub mod tenants;
 
 pub use churn::{ChurnEpoch, ChurnInstance, ChurnScenario};
 pub use model_gen::generate_models;
+pub use openloop::{schedule_fingerprint, Arrival, BurstPhase, OpenLoopScenario};
 pub use request_gen::generate_requests;
 pub use scenario::{AdparScenario, BatchScenario, ParameterDistribution};
 pub use strategy_gen::generate_strategies;

@@ -17,6 +17,8 @@
 //! * [`workload`] — synthetic workload generators used by the experiments.
 //! * [`durable`] — write-ahead-logged catalog tier: crash recovery and
 //!   deployment-decision provenance.
+//! * [`serve`] — streaming front-end: admission windows, deadline shedding
+//!   and graceful degradation under overload.
 //!
 //! # Quick example
 //!
@@ -37,4 +39,5 @@ pub use stratrec_durable as durable;
 pub use stratrec_geometry as geometry;
 pub use stratrec_optim as optim;
 pub use stratrec_platform as platform;
+pub use stratrec_serve as serve;
 pub use stratrec_workload as workload;

@@ -6,6 +6,7 @@
 
 use stratrec::core::availability::AvailabilityPdf;
 use stratrec::core::catalog::{RebuildPolicy, StrategyCatalog};
+use stratrec::core::fairness::{FairnessPolicy, TenantShare};
 use stratrec::core::model::{DeploymentParameters, Strategy};
 use stratrec::core::modeling::{ModelLibrary, StrategyModel};
 use stratrec::core::stratrec::{StratRec, StratRecConfig, TenantOutcome};
@@ -189,4 +190,109 @@ fn removing_the_flood_never_lowers_a_light_tenants_grant() {
         err,
         stratrec::core::error::StratRecError::InvalidFairnessPolicy(_)
     ));
+}
+
+// --- Degenerate splits under overload -------------------------------------
+//
+// The streaming tier calls `FairnessPolicy::split` while a burst is in
+// flight, which is exactly when the inputs go degenerate: the budget
+// collapses to zero, a tenant goes silent mid-burst, or every floor
+// saturates at once. The invariants must not bend: grants sum to at most
+// the budget, no grant exceeds its demand, and light-tenant floors hold
+// while the heavy tenant is the one being shed.
+
+fn overload_policy() -> FairnessPolicy {
+    // Heavy tenant 0 with a big residual weight; three light tenants with
+    // guaranteed 0.2 floors.
+    FairnessPolicy::new(vec![
+        TenantShare::new(0.1, 10.0),
+        TenantShare::new(0.2, 1.0),
+        TenantShare::new(0.2, 1.0),
+        TenantShare::new(0.2, 1.0),
+    ])
+    .unwrap()
+}
+
+fn assert_split_invariants(grants: &[f64], budget: f64, demands: &[f64]) {
+    let total: f64 = grants.iter().sum();
+    assert!(
+        total <= budget + 1e-9,
+        "grants {total} oversubscribe budget {budget}"
+    );
+    for (tenant, (&grant, &demand)) in grants.iter().zip(demands).enumerate() {
+        assert!(grant >= 0.0, "tenant {tenant} granted negative {grant}");
+        assert!(
+            grant <= demand + 1e-12,
+            "tenant {tenant} granted {grant} beyond its demand {demand}"
+        );
+    }
+}
+
+#[test]
+fn a_zero_budget_split_grants_nothing_and_does_not_panic() {
+    let policy = overload_policy();
+    // A fully shed platform: zero budget against a flooding demand vector.
+    let demands = [1_000.0, 3.0, 0.5, 2.0];
+    let grants = policy.split(0.0, &demands);
+    assert_split_invariants(&grants, 0.0, &demands);
+    assert!(
+        grants.iter().all(|&g| g == 0.0),
+        "a zero budget grants exactly zero everywhere: {grants:?}"
+    );
+}
+
+#[test]
+fn a_tenant_going_silent_mid_burst_frees_its_share_for_the_others() {
+    let policy = overload_policy();
+    let budget = 1.0;
+    // Tenant 2 issues nothing during the burst while tenant 0 floods.
+    let demands = [50.0, 0.4, 0.0, 0.4];
+    let grants = policy.split(budget, &demands);
+    assert_split_invariants(&grants, budget, &demands);
+    assert_eq!(grants[2], 0.0, "no demand, no grant");
+    // The light tenants with demand keep their full floor entitlement …
+    for tenant in [1, 3] {
+        assert!(
+            grants[tenant] >= 0.2 * budget - 1e-12,
+            "tenant {tenant} floor broken: {grants:?}"
+        );
+    }
+    // … and the burst's slack (the silent tenant's unused floor) is
+    // water-filled, so the whole budget is still put to work.
+    let total: f64 = grants.iter().sum();
+    assert!(
+        (total - budget).abs() < 1e-9,
+        "demand far beyond budget must consume it fully: {grants:?}"
+    );
+    // The flood is confined to the residual: the heavy tenant can never
+    // take a light tenant's floor, no matter its weight or volume.
+    assert!(
+        grants[0] <= budget - 2.0 * (0.2 * budget) + 1e-9,
+        "heavy tenant {} ate into the standing floors: {grants:?}",
+        grants[0]
+    );
+}
+
+#[test]
+fn all_floors_saturated_leaves_exactly_the_floor_split() {
+    // Floors sum to 1: the floors phase consumes the entire budget and the
+    // water-fill has nothing to distribute — the heavy tenant's 100×
+    // demand and 10× weight must win it nothing extra.
+    let policy = FairnessPolicy::new(vec![
+        TenantShare::new(0.4, 10.0),
+        TenantShare::new(0.3, 1.0),
+        TenantShare::new(0.3, 1.0),
+    ])
+    .unwrap();
+    let budget = 0.8;
+    let demands = [100.0, 1.0, 1.0];
+    let grants = policy.split(budget, &demands);
+    assert_split_invariants(&grants, budget, &demands);
+    let expected = [0.4 * budget, 0.3 * budget, 0.3 * budget];
+    for (tenant, (&grant, &floor_grant)) in grants.iter().zip(&expected).enumerate() {
+        assert!(
+            (grant - floor_grant).abs() < 1e-9,
+            "tenant {tenant}: granted {grant}, saturated floor is {floor_grant}"
+        );
+    }
 }
